@@ -1,0 +1,39 @@
+//! Worst-case execution constructions from Section 7 of Lenzen, Locher &
+//! Wattenhofer, *Tight Bounds for Clock Synchronization*.
+//!
+//! The paper's lower bounds are *indistinguishability* arguments: the
+//! adversary prepares two executions in which every node observes the exact
+//! same messages at the exact same readings of its own hardware clock
+//! (Definition 7.1), so every algorithm behaves identically in both — yet
+//! real time differs, forcing skew. The key mechanical trick is *shifting*:
+//! deliver each message when the receiver's hardware clock reaches a
+//! prescribed value; the simulator supports this delivery mode natively.
+//!
+//! * [`shift`] — Theorem 7.2: the executions `E₁`/`E₂`/`E₃` forcing a
+//!   global skew of `(1 + ϱ)·D·𝒯` on every algorithm that stays within the
+//!   real-time envelope (Condition 1).
+//! * [`framed`] — Lemma 7.6 and Theorem 7.7: `φ`-framed executions and the
+//!   iterative construction that drives an average skew of
+//!   `(k + 1)/2 · α𝒯` onto paths of geometrically shrinking length,
+//!   forcing a local skew of `(1 + ⌊log_b D⌋)·α𝒯/2`.
+//! * [`slowdown`] — Lemma 7.10: indistinguishably stealing `φ𝒯/(1 + ε)`
+//!   real time from a single node — the tool behind Theorem 7.12's bound
+//!   for unbounded clock rates.
+//! * [`logged`] — a protocol wrapper recording each node's local
+//!   observations, used to *verify* indistinguishability empirically.
+//! * [`stress`] — heuristic greedy adversaries (delay flapping) used by the
+//!   baseline-comparison experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod framed;
+pub mod logged;
+pub mod shift;
+pub mod slowdown;
+pub mod stress;
+
+pub use framed::{LocalLowerBound, StageReport};
+pub use logged::{LocalLog, Logged, LoggedEvent};
+pub use shift::{GlobalLowerBound, ShiftReport};
+pub use stress::{FlappingDelay, WavefrontDelay};

@@ -1,0 +1,182 @@
+//! Recording a node's local observations to verify indistinguishability.
+
+use gcs_graph::NodeId;
+use gcs_sim::{Context, Protocol, TimerId};
+
+/// One locally observable event: a message arrival, identified by the
+/// receiver's hardware-clock reading, the sending port, and the payload
+/// (rendered via `Debug` — protocols are deterministic, so equal payloads
+/// have equal renderings).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedEvent {
+    /// Receiver's hardware-clock reading at delivery, quantized to 1e-6 to
+    /// make logs comparable across executions despite floating-point noise.
+    pub hw_micros: i64,
+    /// The sending neighbour.
+    pub from: NodeId,
+    /// The payload, rendered with `Debug`.
+    pub payload: String,
+}
+
+/// The full local log of one node.
+pub type LocalLog = Vec<LoggedEvent>;
+
+/// A protocol wrapper that records every message arrival in the wrapped
+/// node's *local* time.
+///
+/// Two executions are indistinguishable at a node (paper Definition 7.1)
+/// exactly when the node's logs agree — this wrapper turns that definition
+/// into an executable assertion. Used by the lower-bound tests: the shifted
+/// execution's log must be a prefix of (or equal to) the base execution's
+/// log at every node.
+#[derive(Debug, Clone)]
+pub struct Logged<P> {
+    inner: P,
+    log: LocalLog,
+}
+
+impl<P> Logged<P> {
+    /// Wraps a protocol.
+    pub fn new(inner: P) -> Self {
+        Logged {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The recorded local log.
+    pub fn log(&self) -> &LocalLog {
+        &self.log
+    }
+}
+
+/// Whether `shorter` is a prefix of `longer` — the indistinguishability
+/// relation between an execution and a longer base execution.
+///
+/// Compares the *message pattern* (arrival local time and sending port).
+/// For a deterministic algorithm, equal patterns at every node inductively
+/// imply equal payloads too; the payloads themselves are excluded from the
+/// comparison because their low-order floating-point bits differ across
+/// executions that are mathematically identical.
+pub fn is_log_prefix(shorter: &LocalLog, longer: &LocalLog) -> bool {
+    shorter.len() <= longer.len()
+        && shorter
+            .iter()
+            .zip(longer)
+            .all(|(a, b)| a.hw_micros == b.hw_micros && a.from == b.from)
+}
+
+/// Whether two logs describe the same local observations up to the common
+/// local-time horizon both of them reach.
+///
+/// Events are compared as a multiset of `(local time, sender)` pairs:
+/// simultaneous deliveries are unordered in the model (the engine's
+/// tie-break by send sequence is an artifact that legitimately differs
+/// between indistinguishable executions). Events at or after the earlier of
+/// the two logs' last timestamps are excluded — that group may be truncated
+/// by the run horizon.
+pub fn logs_consistent(a: &LocalLog, b: &LocalLog) -> bool {
+    let ha = a.last().map_or(i64::MIN, |e| e.hw_micros);
+    let hb = b.last().map_or(i64::MIN, |e| e.hw_micros);
+    let h = ha.min(hb);
+    let trim = |l: &LocalLog| {
+        let mut v: Vec<(i64, gcs_graph::NodeId)> = l
+            .iter()
+            .filter(|e| e.hw_micros < h)
+            .map(|e| (e.hw_micros, e.from))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    trim(a) == trim(b)
+}
+
+impl<P: Protocol> Protocol for Logged<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, P::Msg>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, P::Msg>, from: NodeId, msg: P::Msg) {
+        self.log.push(LoggedEvent {
+            hw_micros: (ctx.hw() * 1e6).round() as i64,
+            from,
+            payload: format!("{msg:?}"),
+        });
+        self.inner.on_message(ctx, from, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, P::Msg>, timer: TimerId) {
+        self.inner.on_timer(ctx, timer);
+    }
+
+    fn logical_value(&self, hw: f64) -> f64 {
+        self.inner.logical_value(hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::{AOpt, Params};
+    use gcs_graph::topology;
+    use gcs_sim::{ConstantDelay, Engine};
+
+    #[test]
+    fn logs_capture_arrivals_in_local_time() {
+        let p = Params::recommended(0.01, 0.1).unwrap();
+        let g = topology::path(2);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![Logged::new(AOpt::new(p)); 2])
+            .delay_model(ConstantDelay::new(0.05))
+            .build();
+        engine.wake(NodeId(0), 0.0);
+        engine.run_until(5.0);
+        let log1 = engine.protocol(NodeId(1)).log();
+        assert!(!log1.is_empty());
+        assert_eq!(log1[0].from, NodeId(0));
+        assert_eq!(log1[0].hw_micros, 0); // woken by the first message
+    }
+
+    #[test]
+    fn identical_executions_have_identical_logs() {
+        let run = || {
+            let p = Params::recommended(0.01, 0.1).unwrap();
+            let g = topology::path(3);
+            let mut engine = Engine::builder(g)
+                .protocols(vec![Logged::new(AOpt::new(p)); 3])
+                .delay_model(ConstantDelay::new(0.02))
+                .build();
+            engine.wake_all_at(0.0);
+            engine.run_until(20.0);
+            (0..3)
+                .map(|v| engine.protocol(NodeId(v)).log().clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = vec![LoggedEvent {
+            hw_micros: 1,
+            from: NodeId(0),
+            payload: "x".into(),
+        }];
+        let mut b = a.clone();
+        b.push(LoggedEvent {
+            hw_micros: 2,
+            from: NodeId(1),
+            payload: "y".into(),
+        });
+        assert!(is_log_prefix(&a, &b));
+        assert!(!is_log_prefix(&b, &a));
+        assert!(is_log_prefix(&a, &a));
+    }
+}

@@ -1,0 +1,119 @@
+//! Gradient profiles: worst-case skew as a function of distance.
+//!
+//! The *gradient property* (Fan & Lynch 2004; paper Corollaries 7.9/7.13)
+//! bounds the skew of a pair by a function of its distance:
+//! `Θ(α𝒯·d·(1 + log_b(D/d)))`. This profile records, per distance `d`, the
+//! worst pairwise skew observed, for comparison against that shape.
+
+use gcs_graph::Graph;
+use gcs_sim::{DelayModel, Engine, Protocol};
+
+/// Worst observed skew per pair distance.
+#[derive(Debug, Clone)]
+pub struct GradientProfile {
+    dist: Vec<Vec<u32>>,
+    /// `worst[d]` = worst skew seen between pairs at distance `d`.
+    worst: Vec<f64>,
+}
+
+impl GradientProfile {
+    /// Creates a profile for executions on `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        let dist = graph.all_pairs_distances();
+        let diameter = graph.diameter() as usize;
+        GradientProfile {
+            dist,
+            worst: vec![0.0; diameter + 1],
+        }
+    }
+
+    /// Records the engine's state (cost `O(|V|²)` — intended for sampled,
+    /// not per-event, observation on large graphs).
+    pub fn observe<P: Protocol, D: DelayModel>(&mut self, engine: &Engine<P, D>) {
+        let clocks = engine.logical_values();
+        for v in 0..clocks.len() {
+            for w in (v + 1)..clocks.len() {
+                let d = self.dist[v][w] as usize;
+                let skew = (clocks[v] - clocks[w]).abs();
+                if skew > self.worst[d] {
+                    self.worst[d] = skew;
+                }
+            }
+        }
+    }
+
+    /// Worst skew per distance (index 0 is trivially 0).
+    pub fn worst_by_distance(&self) -> &[f64] {
+        &self.worst
+    }
+
+    /// Worst *per-hop average* skew per distance: `worst(d)/d`.
+    pub fn average_by_distance(&self) -> Vec<f64> {
+        self.worst
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| if d == 0 { 0.0 } else { s / d as f64 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::{AOpt, Params};
+    use gcs_graph::topology;
+    use gcs_sim::UniformDelay;
+    use gcs_time::DriftBounds;
+
+    #[test]
+    fn profile_is_monotone_in_distance_for_a_opt() {
+        let params = Params::recommended(0.02, 0.2).unwrap();
+        let n = 8;
+        let g = topology::path(n);
+        let drift = DriftBounds::new(0.02).unwrap();
+        let schedules = gcs_sim::rates::split(n, drift, |v| v % 2 == 0);
+        let mut profile = GradientProfile::new(&g);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![AOpt::new(params); n])
+            .delay_model(UniformDelay::new(0.2, 3))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(120.0, |e| profile.observe(e));
+        let worst = profile.worst_by_distance();
+        assert_eq!(worst.len(), n);
+        assert_eq!(worst[0], 0.0);
+        assert!(worst[1] > 0.0);
+        // Worst skew grows (weakly) with distance for a gradient algorithm.
+        for d in 2..worst.len() {
+            assert!(
+                worst[d] >= worst[1] * 0.5,
+                "distance {d} skew suspiciously small"
+            );
+        }
+        // Worst skew at any distance respects the global bound.
+        let bound = params.global_skew_bound((n - 1) as u32);
+        assert!(worst.iter().all(|&s| s <= bound + 1e-9));
+    }
+
+    #[test]
+    fn per_hop_average_decreases_with_distance() {
+        // The gradient property's signature: close pairs may carry more
+        // skew *per hop* than far pairs carry on average.
+        let params = Params::recommended(0.02, 0.2).unwrap();
+        let n = 8;
+        let g = topology::path(n);
+        let mut profile = GradientProfile::new(&g);
+        let drift = DriftBounds::new(0.02).unwrap();
+        let schedules = gcs_sim::rates::alternating(n, drift, 11.0, 120.0);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![AOpt::new(params); n])
+            .delay_model(UniformDelay::new(0.2, 5))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(120.0, |e| profile.observe(e));
+        let avg = profile.average_by_distance();
+        assert!(avg[1] >= avg[n - 1] - 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! The legal-state invariant (paper Definition 5.6).
+//!
+//! A system is in a *legal state* at time `t` if for every level `s ∈ ℕ₀`
+//! and every pair `v, w` at distance `d(v, w) ≥ C_s = (2𝒢/κ)·σ^{−s}`:
+//!
+//! ```text
+//! L_v(t) − L_w(t) ≤ d(v, w) · (s + ½) · κ
+//! ```
+//!
+//! Theorem 5.10 is proved by showing `A^opt` never leaves the legal state;
+//! this module checks the invariant directly on simulated executions
+//! (experiment F10). For a pair at distance `d`, the binding level is the
+//! *smallest* `s` with `C_s ≤ d` — larger levels only weaken the bound — so
+//! each pair carries one precomputed bound.
+
+use gcs_core::Params;
+use gcs_graph::Graph;
+use gcs_sim::{DelayModel, Engine, Protocol};
+
+/// A detected violation of the legal-state invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalStateViolation {
+    /// Real time of the violation.
+    pub t: f64,
+    /// The ahead node (index).
+    pub v: usize,
+    /// The behind node (index).
+    pub w: usize,
+    /// Their distance.
+    pub distance: u32,
+    /// The binding level `s`.
+    pub level: u32,
+    /// The observed skew.
+    pub skew: f64,
+    /// The violated bound `d(s + ½)κ`.
+    pub bound: f64,
+}
+
+/// Checks the Definition 5.6 invariant over an execution and tracks the
+/// worst margin per level.
+///
+/// # Example
+///
+/// ```
+/// use gcs_analysis::LegalStateChecker;
+/// use gcs_core::{AOpt, Params};
+/// use gcs_graph::topology;
+/// use gcs_sim::{ConstantDelay, Engine};
+///
+/// let p = Params::recommended(1e-2, 0.1)?;
+/// let g = topology::path(5);
+/// let mut checker = LegalStateChecker::new(&g, p);
+/// let mut engine = Engine::builder(g)
+///     .protocols(vec![AOpt::new(p); 5])
+///     .delay_model(ConstantDelay::new(0.05))
+///     .build();
+/// engine.wake_all_at(0.0);
+/// engine.run_until_observed(20.0, |e| { checker.observe(e); });
+/// assert!(checker.first_violation().is_none());
+/// # Ok::<(), gcs_core::ParamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LegalStateChecker {
+    /// For each unordered pair (v, w) with v < w: (v, w, distance, level, bound).
+    pairs: Vec<(usize, usize, u32, u32, f64)>,
+    /// Worst (smallest) slack `bound − skew` seen per level.
+    margins: Vec<f64>,
+    first_violation: Option<LegalStateViolation>,
+    tolerance: f64,
+}
+
+impl LegalStateChecker {
+    /// Builds the checker for a graph and parameter set (`𝒢` is computed
+    /// from the graph's diameter).
+    pub fn new(graph: &Graph, params: Params) -> Self {
+        let diameter = graph.diameter();
+        let sigma = params.sigma() as f64;
+        let kappa = params.kappa();
+        let c0 = 2.0 * params.global_skew_bound(diameter) / kappa;
+        let dist = graph.all_pairs_distances();
+        let mut pairs = Vec::new();
+        let mut max_level = 0u32;
+        for v in 0..graph.len() {
+            for w in (v + 1)..graph.len() {
+                let d = dist[v][w];
+                // Smallest s with C_s = c0·σ^{−s} ≤ d, i.e.
+                // s ≥ log_σ(c0/d); no constraint binds pairs further than
+                // C_0 only via s = 0.
+                let s = if d as f64 >= c0 {
+                    0
+                } else {
+                    (c0 / d as f64).log(sigma).ceil().max(0.0) as u32
+                };
+                let bound = d as f64 * (s as f64 + 0.5) * kappa;
+                max_level = max_level.max(s);
+                pairs.push((v, w, d, s, bound));
+            }
+        }
+        LegalStateChecker {
+            pairs,
+            margins: vec![f64::INFINITY; (max_level + 1) as usize],
+            first_violation: None,
+            tolerance: 1e-9,
+        }
+    }
+
+    /// Records the engine's state; returns `false` on (the first) violation.
+    pub fn observe<P: Protocol, D: DelayModel>(&mut self, engine: &Engine<P, D>) -> bool {
+        let clocks = engine.logical_values();
+        let t = engine.now();
+        let mut ok = true;
+        for &(v, w, d, s, bound) in &self.pairs {
+            let skew = (clocks[v] - clocks[w]).abs();
+            let margin = bound - skew;
+            if margin < self.margins[s as usize] {
+                self.margins[s as usize] = margin;
+            }
+            if margin < -self.tolerance {
+                ok = false;
+                if self.first_violation.is_none() {
+                    let (ahead, behind) = if clocks[v] >= clocks[w] { (v, w) } else { (w, v) };
+                    self.first_violation = Some(LegalStateViolation {
+                        t,
+                        v: ahead,
+                        w: behind,
+                        distance: d,
+                        level: s,
+                        skew,
+                        bound,
+                    });
+                }
+            }
+        }
+        ok
+    }
+
+    /// The first violation seen, if any.
+    pub fn first_violation(&self) -> Option<LegalStateViolation> {
+        self.first_violation
+    }
+
+    /// Worst slack (`bound − skew`, possibly negative) per level `s`.
+    pub fn margins(&self) -> &[f64] {
+        &self.margins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::{AOpt, NoSync};
+    use gcs_graph::topology;
+    use gcs_sim::{ConstantDelay, UniformDelay};
+    use gcs_time::DriftBounds;
+
+    #[test]
+    fn a_opt_stays_legal_under_adversity() {
+        let params = Params::recommended(0.02, 0.2).unwrap();
+        let g = topology::path(7);
+        let drift = DriftBounds::new(0.02).unwrap();
+        let schedules = gcs_sim::rates::split(7, drift, |v| v < 3);
+        let mut checker = LegalStateChecker::new(&g, params);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![AOpt::new(params); 7])
+            .delay_model(UniformDelay::new(0.2, 13))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(150.0, |e| {
+            assert!(checker.observe(e), "legal state violated: {:?}", checker.first_violation());
+        });
+        // Margins were actually exercised (finite).
+        assert!(checker.margins().iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn unsynchronized_clocks_eventually_violate() {
+        // NoSync on a long path with max drift split: skew grows at 2ε/s
+        // without bound and must break the neighbour-level constraint.
+        let params = Params::recommended(0.02, 0.2).unwrap();
+        let n = 7;
+        let g = topology::path(n);
+        let drift = DriftBounds::new(0.02).unwrap();
+        let schedules = gcs_sim::rates::split(n, drift, |v| v < n / 2);
+        let mut checker = LegalStateChecker::new(&g, params);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![NoSync; n])
+            .delay_model(ConstantDelay::new(0.0))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        let mut violated = false;
+        engine.run_until_observed(3000.0, |e| {
+            if !checker.observe(e) {
+                violated = true;
+            }
+        });
+        assert!(violated, "margins: {:?}", checker.margins());
+        let v = checker.first_violation().unwrap();
+        assert!(v.skew > v.bound);
+    }
+
+    #[test]
+    fn binding_level_shrinks_with_distance() {
+        // Closer pairs must carry higher (tighter-per-hop) levels.
+        let params = Params::recommended(0.02, 0.2).unwrap();
+        let g = topology::path(9);
+        let checker = LegalStateChecker::new(&g, params);
+        let level_of = |d: u32| {
+            checker
+                .pairs
+                .iter()
+                .find(|&&(_, _, pd, _, _)| pd == d)
+                .map(|&(_, _, _, s, _)| s)
+                .unwrap()
+        };
+        assert!(level_of(1) >= level_of(8));
+    }
+}

@@ -1,0 +1,213 @@
+//! Exact skew observation over an execution.
+
+use gcs_graph::Graph;
+use gcs_sim::{DelayModel, Engine, Protocol};
+
+/// One decimated time-series point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewSample {
+    /// Real time of the sample.
+    pub t: f64,
+    /// Largest pairwise logical skew at that instant.
+    pub global: f64,
+    /// Largest neighbour skew at that instant.
+    pub local: f64,
+}
+
+/// Tracks the worst-case global and local skew of an execution, plus an
+/// optional decimated time series.
+///
+/// Feed it from [`Engine::run_until_observed`]; because logical clocks are
+/// piecewise linear between events, per-event observation captures exact
+/// worst cases.
+///
+/// # Example
+///
+/// ```
+/// use gcs_analysis::SkewObserver;
+/// use gcs_core::{AOpt, Params};
+/// use gcs_graph::topology;
+/// use gcs_sim::{ConstantDelay, Engine};
+///
+/// let p = Params::recommended(1e-2, 0.1)?;
+/// let g = topology::path(4);
+/// let mut obs = SkewObserver::new(&g);
+/// let mut engine = Engine::builder(g)
+///     .protocols(vec![AOpt::new(p); 4])
+///     .delay_model(ConstantDelay::new(0.05))
+///     .build();
+/// engine.wake_all_at(0.0);
+/// engine.run_until_observed(30.0, |e| obs.observe(e));
+/// assert!(obs.worst_global() <= p.global_skew_bound(3));
+/// assert!(obs.worst_local() <= obs.worst_global() + 1e-12);
+/// # Ok::<(), gcs_core::ParamError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkewObserver {
+    edges: Vec<(usize, usize)>,
+    worst_global: f64,
+    worst_local: f64,
+    worst_global_at: f64,
+    worst_local_at: f64,
+    series_interval: Option<f64>,
+    next_sample_at: f64,
+    series: Vec<SkewSample>,
+    observations: u64,
+}
+
+impl SkewObserver {
+    /// Creates an observer for executions on `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        SkewObserver {
+            edges: graph
+                .edges()
+                .map(|(a, b)| (a.index(), b.index()))
+                .collect(),
+            worst_global: 0.0,
+            worst_local: 0.0,
+            worst_global_at: 0.0,
+            worst_local_at: 0.0,
+            series_interval: None,
+            next_sample_at: 0.0,
+            series: Vec::new(),
+            observations: 0,
+        }
+    }
+
+    /// Additionally records a time series, at most one point per
+    /// `interval` of real time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval <= 0`.
+    pub fn with_series(mut self, interval: f64) -> Self {
+        assert!(interval > 0.0, "invalid series interval {interval}");
+        self.series_interval = Some(interval);
+        self
+    }
+
+    /// Records the engine's current state.
+    pub fn observe<P: Protocol, D: DelayModel>(&mut self, engine: &Engine<P, D>) {
+        self.observations += 1;
+        let clocks = engine.logical_values();
+        let mut max = f64::MIN;
+        let mut min = f64::MAX;
+        for &c in &clocks {
+            max = max.max(c);
+            min = min.min(c);
+        }
+        let global = max - min;
+        let mut local: f64 = 0.0;
+        for &(a, b) in &self.edges {
+            local = local.max((clocks[a] - clocks[b]).abs());
+        }
+        let t = engine.now();
+        if global > self.worst_global {
+            self.worst_global = global;
+            self.worst_global_at = t;
+        }
+        if local > self.worst_local {
+            self.worst_local = local;
+            self.worst_local_at = t;
+        }
+        if let Some(interval) = self.series_interval {
+            if t >= self.next_sample_at {
+                self.series.push(SkewSample { t, global, local });
+                self.next_sample_at = t + interval;
+            }
+        }
+    }
+
+    /// The largest pairwise skew seen so far.
+    pub fn worst_global(&self) -> f64 {
+        self.worst_global
+    }
+
+    /// The largest neighbour skew seen so far.
+    pub fn worst_local(&self) -> f64 {
+        self.worst_local
+    }
+
+    /// When the worst global skew occurred.
+    pub fn worst_global_at(&self) -> f64 {
+        self.worst_global_at
+    }
+
+    /// When the worst local skew occurred.
+    pub fn worst_local_at(&self) -> f64 {
+        self.worst_local_at
+    }
+
+    /// The decimated time series (empty unless enabled).
+    pub fn series(&self) -> &[SkewSample] {
+        &self.series
+    }
+
+    /// Number of observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::NoSync;
+    use gcs_graph::topology;
+    use gcs_sim::ConstantDelay;
+    use gcs_time::RateSchedule;
+
+    #[test]
+    fn tracks_divergence_of_unsynchronized_clocks() {
+        let g = topology::path(3);
+        let schedules = vec![
+            RateSchedule::constant(1.1).unwrap(),
+            RateSchedule::constant(1.0).unwrap(),
+            RateSchedule::constant(0.9).unwrap(),
+        ];
+        let mut obs = SkewObserver::new(&g).with_series(1.0);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![NoSync; 3])
+            .delay_model(ConstantDelay::new(0.0))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(10.0, |e| obs.observe(e));
+        assert!((obs.worst_global() - 2.0).abs() < 1e-9); // 0.2/s for 10s
+        assert!((obs.worst_local() - 1.0).abs() < 1e-9); // 0.1/s per edge
+        assert!((obs.worst_global_at() - 10.0).abs() < 1e-9);
+        assert!(!obs.series().is_empty());
+        let last = obs.series().last().unwrap();
+        assert!(last.global <= obs.worst_global() + 1e-12);
+    }
+
+    #[test]
+    fn series_is_decimated() {
+        let g = topology::path(2);
+        let mut obs = SkewObserver::new(&g).with_series(5.0);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![NoSync; 2])
+            .delay_model(ConstantDelay::new(0.0))
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(20.0, |e| obs.observe(e));
+        assert!(obs.series().len() <= 6);
+    }
+
+    #[test]
+    fn local_never_exceeds_global() {
+        let g = topology::cycle(5);
+        let mut obs = SkewObserver::new(&g);
+        let drift = gcs_time::DriftBounds::new(0.1).unwrap();
+        let schedules = gcs_sim::rates::random_walk(5, drift, 1.0, 30.0, 9);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![NoSync; 5])
+            .delay_model(ConstantDelay::new(0.0))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(30.0, |e| obs.observe(e));
+        assert!(obs.worst_local() <= obs.worst_global() + 1e-12);
+        assert!(obs.observations() > 0);
+    }
+}

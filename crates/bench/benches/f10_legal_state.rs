@@ -1,0 +1,73 @@
+//! F10 — Definition 5.6: the *legal state* invariant, the engine of
+//! Theorem 5.10's proof. At every instant and every level `s`, pairs at
+//! distance `≥ C_s = (2𝒢/κ)σ^{−s}` carry at most `d·(s+½)·κ` of skew. We
+//! audit the invariant over adversarial executions and report the worst
+//! remaining margin per level.
+
+use gcs_analysis::{LegalStateChecker, Table};
+use gcs_bench::banner;
+use gcs_core::{AOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, DirectionalDelay, Engine};
+use gcs_time::DriftBounds;
+
+fn main() {
+    banner(
+        "F10",
+        "legal-state audit (Def 5.6): skew ≤ d(s+½)κ for all pairs at distance ≥ C_s",
+    );
+    let eps = 0.02;
+    let t_max = 0.25;
+    let drift = DriftBounds::new(eps).unwrap();
+    let params = Params::recommended(eps, t_max).unwrap();
+    let d = 32usize;
+    let graph = topology::path(d + 1);
+    let n = graph.len();
+    println!(
+        "path D = {d}; σ = {}, κ = {:.4}, 𝒢 = {:.4}; adversarial split drift + slow away-delays\n",
+        params.sigma(),
+        params.kappa(),
+        params.global_skew_bound(d as u32)
+    );
+
+    let dist = graph.distances_from(NodeId(0));
+    let schedules = rates::split(n, drift, |v| dist[v] < (d / 2) as u32);
+    let delay = DirectionalDelay::new(&graph, NodeId(0), 0.0, t_max);
+    let mut checker = LegalStateChecker::new(&graph, params);
+    let mut engine = Engine::builder(graph.clone())
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(delay)
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    let horizon = 60.0 + 4.0 * d as f64 * t_max;
+    engine.run_until_observed(horizon, |e| {
+        assert!(
+            checker.observe(e),
+            "legal state violated: {:?}",
+            checker.first_violation()
+        );
+    });
+
+    let mut table = Table::new(vec![
+        "level s",
+        "C_s (min distance)",
+        "per-hop allowance (s+½)κ",
+        "worst remaining margin",
+    ]);
+    for (s, &margin) in checker.margins().iter().enumerate() {
+        table.row(vec![
+            s.to_string(),
+            format!("{:.2}", params.legal_state_threshold(d as u32, s as u32)),
+            format!("{:.4}", (s as f64 + 0.5) * params.kappa()),
+            if margin.is_finite() {
+                format!("{margin:.4}")
+            } else {
+                "unused".to_string()
+            },
+        ]);
+    }
+    println!("{table}");
+    println!("no violation at any level over the {horizon}-second horizon — the system");
+    println!("never leaves the legal state, exactly as the proof of Thm 5.10 requires.");
+}

@@ -1,0 +1,77 @@
+//! F12 — Section 8.3: when delays lie in `[𝒯₁, 𝒯₂]`, only the *uncertainty*
+//! `𝒯₂ − 𝒯₁` matters. The offset variant compensates the known floor `𝒯₁`;
+//! its skew stays flat as `𝒯₁` grows with the uncertainty fixed, whereas an
+//! uncompensated run degrades linearly in `𝒯₂`.
+
+use gcs_analysis::Table;
+use gcs_bench::{banner, f4, run_protocol};
+use gcs_core::{AOpt, OffsetAOpt, Params};
+use gcs_graph::topology;
+use gcs_sim::{rates, DelayCtx, Delivery, FnDelay};
+use gcs_time::DriftBounds;
+use rand::{Rng, SeedableRng};
+
+fn banded(t1: f64, t2: f64, seed: u64) -> FnDelay<impl FnMut(&DelayCtx<'_>) -> Delivery + Clone> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    FnDelay::new(
+        move |_: &DelayCtx<'_>| Delivery::After(rng.gen_range(t1..=t2)),
+        Some(t2),
+    )
+}
+
+fn main() {
+    banner(
+        "F12",
+        "delays in [𝒯₁, 𝒯₂]: the offset variant pays only for 𝒯₂ − 𝒯₁ (§8.3)",
+    );
+    let eps = 2e-3;
+    let uncertainty = 0.1;
+    let d = 8usize;
+    let drift = DriftBounds::new(eps).unwrap();
+    // The variant's parameters are built from the *uncertainty*.
+    let params = Params::recommended(eps, uncertainty).unwrap();
+    // The naive run must assume 𝒯̂ = 𝒯₂ (it cannot exploit the floor).
+    println!("path D = {d}, ε̂ = {eps}, fixed uncertainty 𝒯₂−𝒯₁ = {uncertainty}\n");
+
+    let mut table = Table::new(vec![
+        "𝒯₁",
+        "𝒯₂",
+        "offset-variant global",
+        "naive A^opt global",
+        "naive bound (D·𝒯₂ scale)",
+    ]);
+    for t1 in [0.0f64, 0.2, 0.5, 1.0, 2.0] {
+        let t2 = t1 + uncertainty;
+        let graph = topology::path(d + 1);
+        let n = graph.len();
+        let schedules = rates::split(n, drift, |v| v % 2 == 0);
+        let horizon = 150.0 + 20.0 * t2;
+
+        let offset = run_protocol(
+            graph.clone(),
+            vec![OffsetAOpt::new(params, t1); n],
+            banded(t1, t2, 3),
+            schedules.clone(),
+            horizon,
+        );
+        let naive_params = Params::recommended(eps, t2).unwrap();
+        let naive = run_protocol(
+            graph.clone(),
+            vec![AOpt::new(naive_params); n],
+            banded(t1, t2, 3),
+            schedules,
+            horizon,
+        );
+        table.row(vec![
+            format!("{t1:.1}"),
+            format!("{t2:.1}"),
+            f4(offset.global),
+            f4(naive.global),
+            f4(naive_params.global_skew_bound(d as u32)),
+        ]);
+    }
+    println!("{table}");
+    println!("the offset column stays ~flat (it sees only the uncertainty), while");
+    println!("the naive column's bound — and with it κ, H₀, and the achievable");
+    println!("skew — grows with 𝒯₂: exactly §8.3's point.");
+}

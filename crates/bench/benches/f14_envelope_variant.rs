@@ -1,0 +1,70 @@
+//! F14 — Section 8.6: the hardware-envelope condition. The adapted
+//! algorithm keeps every logical clock between the smallest and largest
+//! hardware clock value in the system, while still synchronizing.
+
+use gcs_analysis::Table;
+use gcs_bench::banner;
+use gcs_core::{EnvelopeAOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, Engine, UniformDelay};
+use gcs_time::DriftBounds;
+
+fn main() {
+    banner(
+        "F14",
+        "hardware-envelope variant (§8.6): min_w H_w ≤ L_v ≤ max_w H_w, always",
+    );
+    let eps = 0.02;
+    let t_max = 0.1;
+    let params = Params::recommended(eps, t_max).unwrap();
+    let drift = DriftBounds::new(eps).unwrap();
+
+    let mut table = Table::new(vec![
+        "n",
+        "worst margin to max_w H_w",
+        "worst margin to min_w H_w",
+        "worst global skew",
+        "bound 𝒢 + slack",
+    ]);
+    for (n, seed) in [(5usize, 3u64), (8, 11), (12, 29)] {
+        let graph = topology::path(n);
+        let horizon = 150.0;
+        let schedules = rates::random_walk(n, drift, 4.0, horizon, seed);
+        let mut engine = Engine::builder(graph)
+            .protocols(vec![EnvelopeAOpt::new(params); n])
+            .delay_model(UniformDelay::new(t_max, seed))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        let mut worst_high = f64::INFINITY; // max H − L
+        let mut worst_low = f64::INFINITY; // L − min H
+        let mut worst_skew: f64 = 0.0;
+        engine.run_until_observed(horizon, |e| {
+            let hws: Vec<f64> = (0..n).map(|v| e.hardware_value(NodeId(v))).collect();
+            let h_min = hws.iter().cloned().fold(f64::MAX, f64::min);
+            let h_max = hws.iter().cloned().fold(f64::MIN, f64::max);
+            let clocks = e.logical_values();
+            for &l in &clocks {
+                worst_high = worst_high.min(h_max - l);
+                worst_low = worst_low.min(l - h_min);
+            }
+            let max = clocks.iter().cloned().fold(f64::MIN, f64::max);
+            let min = clocks.iter().cloned().fold(f64::MAX, f64::min);
+            worst_skew = worst_skew.max(max - min);
+        });
+        assert!(worst_high >= -1e-9, "envelope violated above");
+        assert!(worst_low >= -1e-9, "envelope violated below");
+        let slack = 2.0 * eps * horizon * t_max;
+        table.row(vec![
+            n.to_string(),
+            format!("{worst_high:.5}"),
+            format!("{worst_low:.5}"),
+            format!("{worst_skew:.4}"),
+            format!("{:.4}", params.global_skew_bound((n - 1) as u32) + slack),
+        ]);
+    }
+    println!("{table}");
+    println!("both margins stay non-negative (the sharpened Condition 1 of §8.6");
+    println!("holds exactly), and skews remain on the usual 𝒢 scale: damping the");
+    println!("rates by 1 − 𝒪(ε̂) costs only constants, as the paper asserts.");
+}

@@ -1,0 +1,59 @@
+//! F5 — Section 6.1: the amortized message frequency is `Θ(1/H₀)`, and
+//! `H₀` buys message savings at the price of the `2ε/(1+ε)·H₀` term in `𝒢`
+//! (and the `H̄₀ = (2ε+μ)H₀` term in `κ`): a tunable trade-off.
+
+use gcs_analysis::Table;
+use gcs_bench::{banner, f4, run_aopt};
+use gcs_core::Params;
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, DirectionalDelay};
+use gcs_time::DriftBounds;
+
+fn main() {
+    banner(
+        "F5",
+        "amortized message frequency Θ(1/H₀) and the H₀-vs-skew trade-off (§6.1)",
+    );
+    let eps = 0.02;
+    let t_max = 0.25;
+    let d = 16usize;
+    let drift = DriftBounds::new(eps).unwrap();
+    let horizon = 150.0;
+    println!("fixed path D = {d}, ε̂ = {eps}, 𝒯̂ = {t_max}, horizon = {horizon}\n");
+
+    let mut table = Table::new(vec![
+        "H₀/𝒯",
+        "sends/node/𝒯 (measured)",
+        "1/H₀·𝒯 (predicted)",
+        "κ",
+        "global bound 𝒢",
+        "measured global",
+        "measured local",
+    ]);
+    for h0_factor in [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let h0 = h0_factor * t_max;
+        let mu = 14.0 * eps / (1.0 - eps);
+        let params = Params::with_h0_mu(eps, t_max, h0, mu).unwrap();
+        let graph = topology::path(d + 1);
+        let n = graph.len();
+        let dist = graph.distances_from(NodeId(0));
+        let schedules = rates::split(n, drift, |v| dist[v] < (d / 2) as u32);
+        let delay = DirectionalDelay::new(&graph, NodeId(0), 0.0, t_max);
+        let outcome = run_aopt(graph, params, delay, schedules, horizon);
+        let per_node_per_t =
+            outcome.stats.send_events as f64 / n as f64 / horizon * t_max;
+        assert!(outcome.global <= params.global_skew_bound(d as u32) + 1e-9);
+        table.row(vec![
+            format!("{h0_factor}"),
+            f4(per_node_per_t),
+            f4(t_max / h0),
+            f4(params.kappa()),
+            f4(params.global_skew_bound(d as u32)),
+            f4(outcome.global),
+            f4(outcome.local),
+        ]);
+    }
+    println!("{table}");
+    println!("measured frequency tracks 1/H₀ within a small constant (forwarding");
+    println!("bursts add at most 2×); the skew bounds inflate linearly with H₀.");
+}

@@ -1,0 +1,67 @@
+//! F6 — Section 6.2: messages can be discretized to `O(log 1/μ̂)` bits (the
+//! `dl` field) plus `O(1)` bits (the capped `dmax` field), at a skew penalty
+//! absorbed by enlarging `κ` by two quanta.
+
+use gcs_analysis::Table;
+use gcs_bench::{banner, f4, run_protocol};
+use gcs_core::{AOpt, DiscreteAOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, ConstantDelay};
+use gcs_time::DriftBounds;
+
+fn main() {
+    banner(
+        "F6",
+        "bit complexity O(log 1/μ̂) per message via quantized differential encoding (§6.2)",
+    );
+    let t_max = 0.25;
+    let d = 16usize;
+    println!("fixed path D = {d}, 𝒯̂ = {t_max}; sweep ε̂ (hence μ̂ = 14ε̂/(1−ε̂))\n");
+
+    let mut table = Table::new(vec![
+        "ε̂",
+        "μ",
+        "dl cap",
+        "dmax cap",
+        "bits/msg",
+        "exact global",
+        "quantized global",
+        "penalty",
+    ]);
+    for eps in [0.05f64, 0.02, 0.01, 0.005, 0.002, 0.001] {
+        let params = Params::recommended(eps, t_max).unwrap();
+        let drift = DriftBounds::new(eps).unwrap();
+        let graph = topology::path(d + 1);
+        let n = graph.len();
+        let dist = graph.distances_from(NodeId(0));
+        let schedules = rates::split(n, drift, |v| dist[v] < (d / 2) as u32);
+        // FIFO-preserving delays (required by differential encoding).
+        let exact = run_protocol(
+            graph.clone(),
+            vec![AOpt::new(params); n],
+            ConstantDelay::new(t_max / 2.0),
+            schedules.clone(),
+            120.0,
+        );
+        let quantized = run_protocol(
+            graph.clone(),
+            vec![DiscreteAOpt::new(params); n],
+            ConstantDelay::new(t_max / 2.0),
+            schedules,
+            120.0,
+        );
+        table.row(vec![
+            format!("{eps}"),
+            format!("{:.4}", params.mu()),
+            DiscreteAOpt::dl_cap(&params).to_string(),
+            DiscreteAOpt::dmax_cap(&params).to_string(),
+            DiscreteAOpt::bits_per_message(&params).to_string(),
+            f4(exact.global),
+            f4(quantized.global),
+            f4(quantized.global - exact.global),
+        ]);
+    }
+    println!("{table}");
+    println!("bits grow as log₂(1/μ̂) ≈ log₂(1/ε̂) − 3.8 (one extra bit per halving");
+    println!("of ε̂), and the quantized variant tracks the exact one within ~κ.");
+}

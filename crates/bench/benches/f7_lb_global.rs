@@ -1,0 +1,52 @@
+//! F7 — Theorem 7.2: the indistinguishable executions `E₁`/`E₂`/`E₃` force
+//! a global skew of `(1 + ϱ)·D·𝒯` on every envelope-respecting algorithm,
+//! matching `A^opt`'s upper bound `𝒢` within a small constant.
+
+use gcs_adversary::shift::GlobalLowerBound;
+use gcs_analysis::Table;
+use gcs_bench::{banner, f2, f4};
+use gcs_core::{AOpt, Params};
+use gcs_graph::topology;
+
+fn main() {
+    banner(
+        "F7",
+        "forced global skew (1+ϱ)D𝒯 via shifted executions (Thm 7.2) vs upper bound 𝒢",
+    );
+    let eps = 0.05;
+    let t = 0.5;
+
+    for (label, t_hat) in [("loose 𝒯̂ = 2𝒯 (ϱ≈ε)", 1.0), ("tight 𝒯̂ = 𝒯 (ϱ=−ε)", 0.5)] {
+        println!("--- {label} ---");
+        let params = Params::recommended(eps, t_hat).unwrap();
+        let mut table = Table::new(vec![
+            "D",
+            "predicted floor",
+            "forced (E₃)",
+            "upper bound 𝒢",
+            "𝒢/forced",
+            "indist.",
+        ]);
+        for d in [4usize, 8, 16, 32] {
+            let lb = GlobalLowerBound::new(topology::path(d + 1), eps, eps, t, t_hat, 0.01);
+            let (reports, ok) =
+                lb.verify_indistinguishable(|| vec![AOpt::new(params); d + 1]);
+            let forced = reports[2].endpoint_skew;
+            assert!(forced >= 0.85 * lb.predicted_skew(), "floor missed at D={d}");
+            assert!(ok, "executions distinguishable at D={d}");
+            let g = params.global_skew_bound(d as u32);
+            table.row(vec![
+                d.to_string(),
+                f4(lb.predicted_skew()),
+                f4(forced),
+                f4(g),
+                f2(g / forced),
+                ok.to_string(),
+            ]);
+        }
+        println!("{table}");
+    }
+    println!("the floor and 𝒢 stay within a small constant factor of each other,");
+    println!("and the gap shrinks as estimates tighten — Thm 7.2 + Cor 7.3's");
+    println!("\"A^opt is essentially optimal for the global skew\".");
+}

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the substrate: event-engine throughput,
+//! the `setClockRate` decision rule, and graph BFS.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gcs_core::{rate_rule, AOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{ConstantDelay, Engine, UniformDelay};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("a_opt_path32_100s", |b| {
+        let params = Params::recommended(0.02, 0.25).unwrap();
+        b.iter_batched(
+            || {
+                let graph = topology::path(32);
+                let mut engine = Engine::builder(graph)
+                    .protocols(vec![AOpt::new(params); 32])
+                    .delay_model(UniformDelay::new(0.25, 3))
+                    .build();
+                engine.wake_all_at(0.0);
+                engine
+            },
+            |mut engine| {
+                engine.run_until(100.0);
+                engine.message_stats().deliveries
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("snapshot_clone_path64", |b| {
+        let params = Params::recommended(0.02, 0.25).unwrap();
+        let graph = topology::path(64);
+        let mut engine = Engine::builder(graph)
+            .protocols(vec![AOpt::new(params); 64])
+            .delay_model(ConstantDelay::new(0.1))
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(50.0);
+        b.iter(|| std::hint::black_box(engine.clone()).now());
+    });
+    group.finish();
+}
+
+fn rate_rule_cost(c: &mut Criterion) {
+    c.bench_function("set_clock_rate_rule", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.01;
+            let lu = 3.7 + (x % 5.0);
+            let ld = 1.1 + (x % 3.0);
+            std::hint::black_box(rate_rule::clamped_increase(lu, ld, 4.0, 10.0))
+        });
+    });
+}
+
+fn graph_bfs(c: &mut Criterion) {
+    c.bench_function("bfs_grid_32x32", |b| {
+        let g = topology::grid(32, 32);
+        b.iter(|| std::hint::black_box(g.distances_from(NodeId(0))));
+    });
+}
+
+fn ticked_overhead(c: &mut Criterion) {
+    // How much the §8.4 tick adapter costs relative to the bare protocol
+    // (extra timer churn + buffering).
+    c.bench_function("ticked_a_opt_path16_100s", |b| {
+        let params = Params::recommended(0.02, 0.25).unwrap();
+        b.iter_batched(
+            || {
+                let graph = topology::path(16);
+                let mut engine = Engine::builder(graph)
+                    .protocols(vec![gcs_sim::Ticked::new(AOpt::new(params), 0.05); 16])
+                    .delay_model(UniformDelay::new(0.25, 3))
+                    .build();
+                engine.wake_all_at(0.0);
+                engine
+            },
+            |mut engine| {
+                engine.run_until(100.0);
+                engine.message_stats().deliveries
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn legal_state_audit(c: &mut Criterion) {
+    use gcs_analysis::LegalStateChecker;
+    c.bench_function("legal_state_check_path32", |b| {
+        let params = Params::recommended(0.02, 0.25).unwrap();
+        let graph = topology::path(32);
+        let mut engine = Engine::builder(graph.clone())
+            .protocols(vec![AOpt::new(params); 32])
+            .delay_model(ConstantDelay::new(0.1))
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(50.0);
+        let mut checker = LegalStateChecker::new(&graph, params);
+        b.iter(|| std::hint::black_box(checker.observe(&engine)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_throughput, rate_rule_cost, graph_bfs, ticked_overhead, legal_state_audit
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! T1 — the Section 6 complexity table: amortized message frequency
+//! (§6.1), bits per message (§6.2), and per-node state (§6.3), for several
+//! parameter points on a fixed workload.
+
+use gcs_analysis::{ComplexityReport, Table};
+use gcs_bench::banner;
+use gcs_core::{AOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, Engine, UniformDelay};
+use gcs_time::DriftBounds;
+
+fn main() {
+    banner(
+        "T1",
+        "complexity accounting (§6): messages / bits / state per parameter point",
+    );
+    let t_max = 0.25;
+    let d = 16usize;
+    let horizon = 200.0;
+    println!("workload: path D = {d}, uniform random delays, drift walks, horizon {horizon}\n");
+
+    let mut table = Table::new(vec![
+        "ε̂",
+        "σ",
+        "H₀",
+        "sends/node/𝒯 (meas)",
+        "sends/node/𝒯 (= 𝒯/H₀)",
+        "bits/msg",
+        "state bits/node",
+    ]);
+    for (eps, sigma) in [(0.02, 2u32), (0.02, 8), (0.005, 2), (0.005, 8), (0.001, 2)] {
+        let params = Params::with_sigma(eps, t_max, sigma).unwrap();
+        let drift = DriftBounds::new(eps).unwrap();
+        let graph = topology::path(d + 1);
+        let n = graph.len();
+        let schedules = rates::random_walk(n, drift, 5.0, horizon, 9);
+        let mut engine = Engine::builder(graph.clone())
+            .protocols(vec![AOpt::new(params); n])
+            .delay_model(UniformDelay::new(t_max, 4))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake(NodeId(0), 0.0);
+        engine.run_until(horizon);
+        let report = ComplexityReport::from_stats(
+            engine.message_stats(),
+            &params,
+            n,
+            graph.max_degree(),
+            d as u32,
+            horizon,
+        );
+        table.row(vec![
+            format!("{eps}"),
+            sigma.to_string(),
+            format!("{:.3}", params.h0()),
+            format!("{:.4}", report.sends_per_node_per_t),
+            format!("{:.4}", t_max / params.h0()),
+            report.bits_per_message.to_string(),
+            report.state_bits_per_node.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("frequency tracks Θ(1/H₀) = Θ(ε̂·σ/𝒯̂); bits grow with log(1/μ̂);");
+    println!("state stays a few dozen bits per node — §6's economy claims.");
+}

@@ -1,0 +1,71 @@
+//! T2 — the paper's Section 9 headline: with realistic drifts
+//! (`ε ≈ 10⁻⁵`) and real network diameters (20–30), `D ≪ (1/ε)^c`, so the
+//! local skew bound collapses to a *handful of 𝒯* — worst-case neighbour
+//! synchronization at essentially the delay uncertainty.
+
+use gcs_analysis::Table;
+use gcs_bench::{banner, f2, run_aopt};
+use gcs_core::Params;
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, UniformDelay};
+use gcs_time::DriftBounds;
+
+fn main() {
+    banner(
+        "T2",
+        "realistic networks (§9): quartz drifts, D ≤ 30 ⇒ local skew = O(𝒯)",
+    );
+    // Quartz-grade drift and a 1 ms delay uncertainty. (The simulation runs
+    // a shorter horizon than a real deployment, but the *bounds* — the
+    // paper's claim — are exact formulas.)
+    let t_max = 1e-3;
+
+    let mut table = Table::new(vec![
+        "ε̂",
+        "D",
+        "local bound / 𝒯 (μ=14ε̂)",
+        "local bound / 𝒯 (μ≈½)",
+        "global bound / 𝒯",
+        "measured local / 𝒯",
+    ]);
+    for (eps, d) in [
+        (1e-5f64, 8usize),
+        (1e-5, 30),
+        (1e-4, 30),
+        (1e-3, 30),
+        (1e-5, 300),
+    ] {
+        let params = Params::recommended(eps, t_max).unwrap();
+        // The μ ∈ Θ(1) regime of §9: logarithm base Θ(1/ε̂), so realistic
+        // diameters need a single level.
+        let sigma_half = ((0.5 * (1.0 - eps)) / (7.0 * eps)).floor() as u32;
+        let params_half = Params::with_sigma(eps, t_max, sigma_half.max(2)).unwrap();
+        let drift = DriftBounds::new(eps).unwrap();
+        // Measure on a modest prefix of the topology for the big-D rows.
+        let sim_d = d.min(30);
+        let graph = topology::path(sim_d + 1);
+        let n = graph.len();
+        let dist = graph.distances_from(NodeId(0));
+        let schedules = rates::split(n, drift, |v| dist[v] < (sim_d / 2) as u32);
+        let outcome = run_aopt(
+            graph,
+            params,
+            UniformDelay::new(t_max, 11),
+            schedules,
+            60.0,
+        );
+        table.row(vec![
+            format!("{eps:.0e}"),
+            d.to_string(),
+            f2(params.local_skew_bound(d as u32) / t_max),
+            f2(params_half.local_skew_bound(d as u32) / t_max),
+            f2(params.global_skew_bound(d as u32) / t_max),
+            format!("{:.3}", outcome.local / t_max),
+        ]);
+    }
+    println!("{table}");
+    println!("with ε = 10⁻⁵ the logarithm base 1/ε dwarfs any realistic diameter:");
+    println!("one level suffices and neighbours stay within a few 𝒯 — the paper's");
+    println!("\"clock skew between neighboring nodes can be bounded by O(𝒯) in most");
+    println!("real-world systems\".");
+}

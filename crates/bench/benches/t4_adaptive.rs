@@ -1,0 +1,73 @@
+//! T4 — Section 8.1: a completely unknown `𝒯` is no restriction. Starting
+//! from a wildly wrong initial guess, the adaptive variant measures round
+//! trips, floods the maximum, re-derives `(κ, H₀)` a logarithmic number of
+//! times, and ends up synchronizing as if `𝒯̂` had been known (up to the
+//! `𝒯̂ ≤ 2𝒯/(1−ε̂)`-ish over-approximation inherent to round-trip probing).
+
+use gcs_analysis::Table;
+use gcs_bench::banner;
+use gcs_core::{AdaptiveAOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, Engine, UniformDelay};
+use gcs_time::DriftBounds;
+
+fn main() {
+    banner(
+        "T4",
+        "adaptive 𝒯̂ (§8.1): convergence from a wrong initial guess, per true 𝒯",
+    );
+    let eps = 0.02;
+    let n = 8;
+    let d = (n - 1) as u32;
+    let drift = DriftBounds::new(eps).unwrap();
+    println!("path D = {d}; initial guess 𝒯̂₀ = 0.001 everywhere\n");
+
+    let mut table = Table::new(vec![
+        "true 𝒯",
+        "converged 𝒯̂",
+        "𝒯̂ / 𝒯",
+        "adaptations (max/node)",
+        "global skew (steady)",
+        "𝒢(converged 𝒯̂)",
+    ]);
+    for t_true in [0.05f64, 0.2, 0.8] {
+        let g = topology::path(n);
+        let schedules = rates::split(n, drift, |v| v < n / 2);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![AdaptiveAOpt::new(eps, 0.001); n])
+            .delay_model(UniformDelay::new(t_true, 17))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        // Convergence phase.
+        engine.run_until(300.0 * t_true.max(0.1));
+        let converged: Params = *engine.protocol(NodeId(0)).params();
+        let adaptations = (0..n)
+            .map(|v| engine.protocol(NodeId(v)).adaptations())
+            .max()
+            .unwrap();
+        // Steady-state measurement phase.
+        let mut worst: f64 = 0.0;
+        let end = engine.now() + 600.0 * t_true.max(0.1);
+        engine.run_until_observed(end, |e| {
+            let clocks = e.logical_values();
+            let max = clocks.iter().cloned().fold(f64::MIN, f64::max);
+            let min = clocks.iter().cloned().fold(f64::MAX, f64::min);
+            worst = worst.max(max - min);
+        });
+        let bound = converged.global_skew_bound(d);
+        assert!(worst <= bound + 1e-9, "steady-state bound violated");
+        table.row(vec![
+            format!("{t_true}"),
+            format!("{:.4}", converged.t_hat()),
+            format!("{:.2}", converged.t_hat() / t_true),
+            adaptations.to_string(),
+            format!("{worst:.4}"),
+            format!("{bound:.4}"),
+        ]);
+    }
+    println!("{table}");
+    println!("𝒯̂ lands within a small factor of the true 𝒯 (round trips measure");
+    println!("≤ 2𝒯, doubling adds ≤ 2×), after a logarithmic number of parameter");
+    println!("changes — §8.1's 'no restriction' argument, executed.");
+}

@@ -1,0 +1,185 @@
+//! The `setClockRate` decision rule (paper Algorithm 3).
+//!
+//! Line 1 computes
+//!
+//! ```text
+//! R_v := sup { R ∈ ℝ : ⌊(Λ↑ − R)/κ⌋ ≥ ⌊(Λ↓ + R)/κ⌋ }
+//! ```
+//!
+//! the largest instantaneous increase of `L_v` under which the skew to the
+//! furthest-ahead neighbour estimate (`Λ↑`) still weakly dominates, in units
+//! of `κ`, the skew to the furthest-behind one (`Λ↓`). Line 2 clamps:
+//!
+//! ```text
+//! R_v := min { max { κ − Λ↓, R_v }, L_v^max − L_v }
+//! ```
+//!
+//! — a skew of `κ` is always tolerated (first term), and the clock may never
+//! overtake the maximum-clock estimate (second term).
+//!
+//! This module exposes the rule as pure functions so it can be tested
+//! exhaustively, independent of the event machinery.
+
+/// Closed form of Algorithm 3, line 1.
+///
+/// For each integer `s`, the constraint `⌊(Λ↑ − R)/κ⌋ ≥ s ≥ ⌊(Λ↓ + R)/κ⌋`
+/// holds exactly for `R ≤ Λ↑ − sκ` and `R < (s + 1)κ − Λ↓`; the supremum for
+/// that `s` is `min(Λ↑ − sκ, (s + 1)κ − Λ↓)`. The first term decreases and
+/// the second increases in `s`, so the overall supremum is attained at the
+/// crossing `s* = (Λ↑ + Λ↓)/(2κ) − ½`, at one of the two integers around it.
+///
+/// # Panics
+///
+/// Panics if `kappa <= 0` or the skews are non-finite.
+pub fn raw_increase(lambda_up: f64, lambda_down: f64, kappa: f64) -> f64 {
+    assert!(kappa > 0.0, "κ must be positive");
+    assert!(
+        lambda_up.is_finite() && lambda_down.is_finite(),
+        "skews must be finite"
+    );
+    let crossing = (lambda_up + lambda_down) / (2.0 * kappa) - 0.5;
+    let mut best = f64::NEG_INFINITY;
+    // The objective is concave piecewise-linear in s; checking the integers
+    // around the real-valued optimum (with one extra on each side as a
+    // floating-point guard) finds the maximum.
+    let base = crossing.floor();
+    for ds in -1..=2 {
+        let s = base + ds as f64;
+        let candidate = (lambda_up - s * kappa).min((s + 1.0) * kappa - lambda_down);
+        best = best.max(candidate);
+    }
+    best
+}
+
+/// Full Algorithm 3 (lines 1–2): the clamped increase `R_v`.
+///
+/// `headroom` is `L_v^max − L_v`, the distance to the maximum-clock
+/// estimate.
+///
+/// # Panics
+///
+/// Panics if `kappa <= 0` or any argument is non-finite.
+pub fn clamped_increase(lambda_up: f64, lambda_down: f64, kappa: f64, headroom: f64) -> f64 {
+    assert!(headroom.is_finite(), "headroom must be finite");
+    let r = raw_increase(lambda_up, lambda_down, kappa);
+    r.max(kappa - lambda_down).min(headroom)
+}
+
+/// Verifies the line-1 defining property for a candidate `R` (used by the
+/// property tests): whether `⌊(Λ↑ − R)/κ⌋ ≥ ⌊(Λ↓ + R)/κ⌋`.
+pub fn line1_condition(lambda_up: f64, lambda_down: f64, kappa: f64, r: f64) -> bool {
+    ((lambda_up - r) / kappa).floor() >= ((lambda_down + r) / kappa).floor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KAPPA: f64 = 4.0;
+
+    #[test]
+    fn balanced_at_half_quantum_gives_half_kappa() {
+        // Paper's worked example: Λ↑ = Λ↓ = (s + ½)κ ⇒ R_v = κ/2.
+        for s in 0..4 {
+            let lam = (s as f64 + 0.5) * KAPPA;
+            let r = raw_increase(lam, lam, KAPPA);
+            assert!((r - KAPPA / 2.0).abs() < 1e-12, "s = {s}, got {r}");
+        }
+    }
+
+    #[test]
+    fn already_balanced_at_multiple_gives_zero() {
+        // Λ↑ ≤ sκ and Λ↓ ≥ sκ ⇒ R_v ≤ 0 (paper's description of line 1).
+        let r = raw_increase(2.0 * KAPPA, 2.0 * KAPPA, KAPPA);
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ahead_neighbour_only_pulls_up() {
+        // Λ↑ = 3κ, Λ↓ = 0: can raise until Λ↑ − R and Λ↓ + R balance at a
+        // common multiple: s* = 3/2 − 1/2 = 1 ⇒ min(3κ − κ, 2κ) = 2κ.
+        let r = raw_increase(3.0 * KAPPA, 0.0, KAPPA);
+        assert!((r - 2.0 * KAPPA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn behind_neighbour_only_blocks() {
+        // Λ↑ = 0, Λ↓ = 3κ: raising would unbalance; R ≤ 0. s* = 1:
+        // min(0 − κ, 2κ − 3κ) = −κ; s = 0: min(0, κ − 3κ) = −2κ; best −κ.
+        let r = raw_increase(0.0, 3.0 * KAPPA, KAPPA);
+        assert!(r <= 0.0);
+        assert!((r + KAPPA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_increase_is_sup_of_line1_condition() {
+        // Just below R* the condition holds; just above it fails.
+        let cases = [
+            (1.7, 0.3),
+            (9.2, 3.4),
+            (-2.0, 5.0),
+            (0.0, 0.0),
+            (6.0, 6.0),
+            (13.5, -1.25),
+        ];
+        for &(lu, ld) in &cases {
+            let r = raw_increase(lu, ld, KAPPA);
+            assert!(
+                line1_condition(lu, ld, KAPPA, r - 1e-9),
+                "condition must hold below the sup for ({lu}, {ld}), r = {r}"
+            );
+            assert!(
+                !line1_condition(lu, ld, KAPPA, r + 1e-9),
+                "condition must fail above the sup for ({lu}, {ld}), r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn tolerated_kappa_floor_applies() {
+        // Λ↓ = 0 (no one behind), Λ↑ = 0: raw rule gives 0…κ-ish, but a skew
+        // of κ is always tolerated: R = min(max(κ − 0, R*), headroom).
+        let r = clamped_increase(0.0, 0.0, KAPPA, 100.0);
+        assert!((r - KAPPA).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headroom_caps_the_increase() {
+        let r = clamped_increase(10.0 * KAPPA, 0.0, KAPPA, 1.5);
+        assert!((r - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_headroom_forbids_raising() {
+        // L_v = L_v^max ⇒ R_v ≤ 0 regardless of neighbour skews
+        // (Corollary 5.2 relies on exactly this).
+        let r = clamped_increase(50.0, 0.0, KAPPA, 0.0);
+        assert!(r <= 0.0);
+    }
+
+    #[test]
+    fn negative_lambda_up_is_handled() {
+        // All known neighbours behind: Λ↑ < 0, Λ↓ = −Λ↑ > 0.
+        let r = raw_increase(-6.0, 6.0, KAPPA);
+        assert!(r <= 0.0);
+    }
+
+    #[test]
+    fn increase_shift_invariance() {
+        // Shifting both Λ↑ down and Λ↓ up by x (the effect of increasing
+        // L_v by x) reduces R* by exactly x — the key algebraic fact behind
+        // Lemma 5.1 (idempotence between messages).
+        let (lu, ld) = (7.3, 1.1);
+        let r0 = raw_increase(lu, ld, KAPPA);
+        for &x in &[0.1, 0.5, 1.9, 3.0] {
+            let rx = raw_increase(lu - x, ld + x, KAPPA);
+            assert!((rx - (r0 - x)).abs() < 1e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "κ must be positive")]
+    fn zero_kappa_panics() {
+        let _ = raw_increase(1.0, 1.0, 0.0);
+    }
+}

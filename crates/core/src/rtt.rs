@@ -1,0 +1,220 @@
+//! Round-trip estimation of an unknown delay bound `𝒯` (paper Section 8.1).
+//!
+//! The paper argues that assuming `𝒯` completely unknown is no restriction:
+//! nodes acknowledge messages, measure round-trip times on their hardware
+//! clocks, divide by `1 − ε̂` to over-approximate elapsed real time, and
+//! flood the largest estimate through the system. This module implements
+//! that probing protocol. The resulting [`RttProbe::t_hat_estimate`] is a
+//! valid `𝒯̂` for [`crate::Params`]: it upper-bounds every message delay
+//! witnessed so far, and it is `O(𝒯)` because a round trip takes at most
+//! `2𝒯` real time.
+
+use gcs_graph::NodeId;
+use gcs_sim::{Context, Protocol, TimerId};
+
+/// Probe messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeMsg {
+    /// A ping carrying the prober's sequence number and its current
+    /// round-trip estimate (hardware units) for gossiping the maximum.
+    Ping {
+        /// Sequence number echoed by the pong.
+        seq: u64,
+        /// Sender's current largest round-trip measurement.
+        gossip: f64,
+    },
+    /// The immediate reply to a ping.
+    Pong {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Replier's current largest round-trip measurement.
+        gossip: f64,
+    },
+}
+
+/// A node of the round-trip probing protocol.
+///
+/// Pings all neighbours every `period` hardware-time units; neighbours
+/// reply immediately; the largest round trip observed anywhere is gossiped
+/// on every probe.
+///
+/// # Example
+///
+/// ```
+/// use gcs_core::rtt::RttProbe;
+/// use gcs_graph::topology;
+/// use gcs_sim::{Engine, UniformDelay};
+///
+/// let t_true = 0.25;
+/// let mut engine = Engine::builder(topology::path(3))
+///     .protocols(vec![RttProbe::new(1.0, 0.01); 3])
+///     .delay_model(UniformDelay::new(t_true, 42))
+///     .build();
+/// engine.wake_all_at(0.0);
+/// engine.run_until(50.0);
+/// let est = engine.protocol(gcs_graph::NodeId(0)).t_hat_estimate();
+/// assert!(est <= 2.0 * t_true / 0.99 + 1e-9); // O(𝒯)
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttProbe {
+    period: f64,
+    epsilon_hat: f64,
+    seq: u64,
+    /// Outstanding pings: (seq, hardware send time).
+    outstanding: Vec<(u64, f64)>,
+    /// Largest round trip seen or heard of (hardware units).
+    max_rtt_hw: f64,
+}
+
+impl RttProbe {
+    /// Timer slot for the probing cadence.
+    pub const PROBE_TIMER: TimerId = TimerId(0);
+
+    /// Creates a probe with the given hardware-time period and known drift
+    /// bound `ε̂`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0` or `epsilon_hat` is not in `(0, 1)`.
+    pub fn new(period: f64, epsilon_hat: f64) -> Self {
+        assert!(period > 0.0 && period.is_finite(), "invalid period");
+        assert!(
+            epsilon_hat > 0.0 && epsilon_hat < 1.0,
+            "invalid drift bound {epsilon_hat}"
+        );
+        RttProbe {
+            period,
+            epsilon_hat,
+            seq: 0,
+            outstanding: Vec::new(),
+            max_rtt_hw: 0.0,
+        }
+    }
+
+    /// The current delay-bound estimate `𝒯̂`: the largest round trip known,
+    /// converted from hardware to an upper bound on real time.
+    ///
+    /// Every individual message delay witnessed so far is at most this value
+    /// (a one-way delay is at most the round trip that contained it, and the
+    /// hardware clock under-measures real time by at most `1 − ε̂`).
+    pub fn t_hat_estimate(&self) -> f64 {
+        self.max_rtt_hw / (1.0 - self.epsilon_hat)
+    }
+
+    fn probe(&mut self, ctx: &mut Context<'_, ProbeMsg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.outstanding.push((seq, ctx.hw()));
+        ctx.send_all(ProbeMsg::Ping {
+            seq,
+            gossip: self.max_rtt_hw,
+        });
+        ctx.set_timer(Self::PROBE_TIMER, ctx.hw() + self.period);
+    }
+}
+
+impl Protocol for RttProbe {
+    type Msg = ProbeMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ProbeMsg>) {
+        self.probe(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProbeMsg>, from: NodeId, msg: ProbeMsg) {
+        match msg {
+            ProbeMsg::Ping { seq, gossip } => {
+                self.max_rtt_hw = self.max_rtt_hw.max(gossip);
+                ctx.send(
+                    from,
+                    ProbeMsg::Pong {
+                        seq,
+                        gossip: self.max_rtt_hw,
+                    },
+                );
+            }
+            ProbeMsg::Pong { seq, gossip } => {
+                self.max_rtt_hw = self.max_rtt_hw.max(gossip);
+                if let Some(pos) = self.outstanding.iter().position(|&(s, _)| s == seq) {
+                    let (_, sent_hw) = self.outstanding.swap_remove(pos);
+                    self.max_rtt_hw = self.max_rtt_hw.max(ctx.hw() - sent_hw);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ProbeMsg>, timer: TimerId) {
+        debug_assert_eq!(timer, Self::PROBE_TIMER);
+        self.probe(ctx);
+    }
+
+    fn logical_value(&self, hw: f64) -> f64 {
+        hw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_graph::topology;
+    use gcs_sim::{ConstantDelay, Engine, UniformDelay};
+
+    #[test]
+    fn estimate_upper_bounds_constant_delay() {
+        let d = 0.3;
+        let mut engine = Engine::builder(topology::path(2))
+            .protocols(vec![RttProbe::new(1.0, 0.05); 2])
+            .delay_model(ConstantDelay::new(d))
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(30.0);
+        for v in 0..2 {
+            let est = engine.protocol(NodeId(v)).t_hat_estimate();
+            assert!(est >= d, "estimate {est} below true delay {d}");
+            assert!(est <= 2.0 * d / 0.95 + 1e-9, "estimate {est} not O(𝒯)");
+        }
+    }
+
+    #[test]
+    fn estimate_is_gossiped_across_the_network() {
+        // Only the 3-4 link is slow; distant node 0 must still learn a
+        // large estimate through gossip.
+        use gcs_sim::{DelayCtx, Delivery, FnDelay};
+        let delay = FnDelay::new(
+            |c: &DelayCtx<'_>| {
+                let slow = (c.src.index() >= 3) != (c.dst.index() >= 3) // never true on a path…
+                    || (c.src.index().min(c.dst.index()) == 3);
+                Delivery::After(if slow { 0.5 } else { 0.01 })
+            },
+            Some(0.5),
+        );
+        let mut engine = Engine::builder(topology::path(5))
+            .protocols(vec![RttProbe::new(1.0, 0.05); 5])
+            .delay_model(delay)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(60.0);
+        let est0 = engine.protocol(NodeId(0)).t_hat_estimate();
+        assert!(est0 >= 0.5, "gossip failed: node 0 estimate {est0}");
+    }
+
+    #[test]
+    fn estimate_grows_with_observed_delays() {
+        let mut engine = Engine::builder(topology::path(2))
+            .protocols(vec![RttProbe::new(0.5, 0.01); 2])
+            .delay_model(UniformDelay::new(0.2, 3))
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(5.0);
+        let early = engine.protocol(NodeId(0)).t_hat_estimate();
+        engine.run_until(100.0);
+        let late = engine.protocol(NodeId(0)).t_hat_estimate();
+        assert!(late >= early);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid period")]
+    fn rejects_bad_period() {
+        let _ = RttProbe::new(0.0, 0.01);
+    }
+}

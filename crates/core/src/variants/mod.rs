@@ -1,0 +1,19 @@
+//! Model variants of `A^opt` (paper Section 8 and remarks).
+
+mod adaptive;
+mod discrete;
+mod envelope;
+mod external;
+mod jump;
+mod min_gap;
+mod piggyback;
+mod offset;
+
+pub use adaptive::{AdaptiveAOpt, AdaptiveMsg, MsgKind};
+pub use discrete::{DiscreteAOpt, DiscreteMsg};
+pub use envelope::EnvelopeAOpt;
+pub use external::{ExternalAOpt, ExternalMsg};
+pub use jump::AOptJump;
+pub use min_gap::MinGapAOpt;
+pub use piggyback::{PiggybackAOpt, PiggybackMsg};
+pub use offset::OffsetAOpt;

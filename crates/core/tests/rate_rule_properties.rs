@@ -1,0 +1,94 @@
+//! Property-based tests of the `setClockRate` decision rule — Algorithm 3
+//! is the heart of the paper; its closed form must match the defining
+//! supremum exactly.
+
+use gcs_core::rate_rule::{clamped_increase, line1_condition, raw_increase};
+use proptest::prelude::*;
+
+/// Λ↑ and Λ↓ as they can actually occur: both are maxima over the same
+/// per-neighbour differences, so Λ↑ + Λ↓ ≥ 0.
+fn lambda_pair() -> impl Strategy<Value = (f64, f64, f64)> {
+    (
+        prop::collection::vec(-50.0f64..50.0, 1..8),
+        0.1f64..10.0,
+    )
+        .prop_map(|(diffs, kappa)| {
+            let up = diffs.iter().cloned().fold(f64::MIN, f64::max);
+            let down = diffs.iter().map(|d| -d).fold(f64::MIN, f64::max);
+            (up, down, kappa)
+        })
+}
+
+proptest! {
+    #[test]
+    fn raw_increase_is_the_supremum((up, down, kappa) in lambda_pair()) {
+        let r = raw_increase(up, down, kappa);
+        prop_assert!(r.is_finite());
+        // Just below the sup the line-1 condition holds…
+        prop_assert!(
+            line1_condition(up, down, kappa, r - 1e-6 * kappa),
+            "condition fails below sup: up={up}, down={down}, κ={kappa}, r={r}"
+        );
+        // …and just above it fails.
+        prop_assert!(
+            !line1_condition(up, down, kappa, r + 1e-6 * kappa),
+            "condition holds above sup: up={up}, down={down}, κ={kappa}, r={r}"
+        );
+    }
+
+    #[test]
+    fn raw_increase_is_monotone_in_lambda_up((up, down, kappa) in lambda_pair(),
+                                             bump in 0.0f64..20.0) {
+        let r1 = raw_increase(up, down, kappa);
+        let r2 = raw_increase(up + bump, down, kappa);
+        prop_assert!(r2 >= r1 - 1e-9);
+    }
+
+    #[test]
+    fn raw_increase_is_antitone_in_lambda_down((up, down, kappa) in lambda_pair(),
+                                               bump in 0.0f64..20.0) {
+        let r1 = raw_increase(up, down, kappa);
+        let r2 = raw_increase(up, down + bump, kappa);
+        prop_assert!(r2 <= r1 + 1e-9);
+    }
+
+    #[test]
+    fn shift_invariance((up, down, kappa) in lambda_pair(), x in 0.0f64..10.0) {
+        // Increasing L_v by x shifts Λ↑ down and Λ↓ up by x and must reduce
+        // the computed increase by exactly x (the algebra behind Lemma 5.1).
+        let r0 = raw_increase(up, down, kappa);
+        let rx = raw_increase(up - x, down + x, kappa);
+        prop_assert!((rx - (r0 - x)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn balanced_skews_give_bounded_increase(s in 0u32..20, frac in 0.0f64..1.0,
+                                            kappa in 0.1f64..10.0) {
+        // Λ↑ = Λ↓ = (s + frac)·κ ⇒ R ∈ [-κ, κ] with R = κ/2 at frac = ½.
+        let lam = (s as f64 + frac) * kappa;
+        let r = raw_increase(lam, lam, kappa);
+        prop_assert!(r.abs() <= kappa + 1e-9);
+        if (frac - 0.5).abs() < 1e-9 {
+            prop_assert!((r - kappa / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clamp_respects_headroom_and_tolerance((up, down, kappa) in lambda_pair(),
+                                             headroom in 0.0f64..100.0) {
+        let r = clamped_increase(up, down, kappa, headroom);
+        // Never exceed the maximum-estimate headroom (Corollary 5.2 needs
+        // this).
+        prop_assert!(r <= headroom + 1e-12);
+        // The κ-tolerance floor: if the furthest-behind neighbour is within
+        // κ and there is headroom, the node may advance.
+        if down < kappa && headroom > 0.0 {
+            prop_assert!(r >= (kappa - down).min(headroom) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_headroom_never_advances((up, down, kappa) in lambda_pair()) {
+        prop_assert!(clamped_increase(up, down, kappa, 0.0) <= 0.0);
+    }
+}

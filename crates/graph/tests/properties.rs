@@ -1,0 +1,99 @@
+//! Property-based tests for the graph substrate.
+
+use gcs_graph::{topology, Graph, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn generated_random_graphs_are_valid(n in 1usize..40, p in 0.0f64..0.3, seed in 0u64..1000) {
+        let g = topology::erdos_renyi(n, p, seed);
+        prop_assert_eq!(g.len(), n);
+        // BFS reaches every node (connectivity was validated at build time).
+        let d = g.distances_from(NodeId(0));
+        prop_assert!(d.iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn triangle_inequality_holds(n in 2usize..25, p in 0.05f64..0.4, seed in 0u64..200) {
+        let g = topology::erdos_renyi(n, p, seed);
+        let d = g.all_pairs_distances();
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    prop_assert!(d[u][w] <= d[u][v] + d[v][w]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric(n in 2usize..30, p in 0.05f64..0.4, seed in 0u64..200) {
+        let g = topology::erdos_renyi(n, p, seed);
+        let d = g.all_pairs_distances();
+        for u in 0..n {
+            prop_assert_eq!(d[u][u], 0);
+            for v in 0..n {
+                prop_assert_eq!(d[u][v], d[v][u]);
+                if u != v {
+                    prop_assert!(d[u][v] >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one(n in 2usize..30, p in 0.0f64..0.4, seed in 0u64..200) {
+        let g = topology::erdos_renyi(n, p, seed);
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                prop_assert_eq!(g.distance(v, w), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_paths_have_metric_length(n in 2usize..25, p in 0.05f64..0.4, seed in 0u64..100,
+                                         a in 0usize..25, b in 0usize..25) {
+        let g = topology::erdos_renyi(n, p, seed);
+        let (a, b) = (NodeId(a % n), NodeId(b % n));
+        let path = g.shortest_path(a, b);
+        prop_assert_eq!(path.len() as u32, g.distance(a, b) + 1);
+        for w in path.windows(2) {
+            prop_assert!(g.neighbors(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_every_distance(n in 2usize..25, p in 0.0f64..0.4, seed in 0u64..100) {
+        let g = topology::erdos_renyi(n, p, seed);
+        let diameter = g.diameter();
+        let d = g.all_pairs_distances();
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert!(d[u][v] <= diameter);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_graphs_are_connected(n in 1usize..40, r in 0.01f64..0.5, seed in 0u64..100) {
+        let g = topology::random_geometric(n, r, seed);
+        let d = g.distances_from(NodeId(0));
+        prop_assert!(d.iter().all(|&x| x != u32::MAX));
+    }
+
+    #[test]
+    fn grid_diameter_formula(w in 1usize..8, h in 1usize..8) {
+        let g = topology::grid(w, h);
+        prop_assert_eq!(g.diameter() as usize, (w - 1) + (h - 1));
+    }
+
+    #[test]
+    fn rebuilding_from_edge_list_round_trips(n in 2usize..25, p in 0.05f64..0.4, seed in 0u64..100) {
+        let g = topology::erdos_renyi(n, p, seed);
+        let edges: Vec<(usize, usize)> = g.edges().map(|(a, b)| (a.index(), b.index())).collect();
+        let h = Graph::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(g.edge_count(), h.edge_count());
+        prop_assert_eq!(g.all_pairs_distances(), h.all_pairs_distances());
+    }
+}

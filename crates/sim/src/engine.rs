@@ -1,0 +1,559 @@
+//! The discrete-event execution engine.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use gcs_graph::{Graph, NodeId};
+use gcs_time::{HardwareClock, RateSchedule};
+
+use crate::delay::{DelayCtx, DelayModel, Delivery};
+use crate::protocol::{Action, Context, Protocol, TimerId};
+
+/// Counters over the messages exchanged in an execution.
+///
+/// `send_events` counts broadcast events (the unit of the paper's message
+/// and bit complexity accounting — a node sends identical information to all
+/// neighbours at a send event, its Section 6.2); `transmissions` counts
+/// per-edge message copies; `deliveries` counts received messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Number of send events (one per `send`/`send_all` action).
+    pub send_events: u64,
+    /// Number of per-edge message transmissions.
+    pub transmissions: u64,
+    /// Number of delivered messages.
+    pub deliveries: u64,
+    /// Number of transmissions dropped by the delay model (always 0 under
+    /// the paper's reliable-links model).
+    pub dropped: u64,
+    /// Send events per node.
+    pub per_node_sends: Vec<u64>,
+}
+
+/// A pending hardware-value item: fires when the owning node's hardware
+/// clock reaches `target`.
+#[derive(Debug, Clone)]
+enum PendingHw<M> {
+    Timer { timer: TimerId, target: f64 },
+    Delivery { src: NodeId, msg: M, target: f64 },
+}
+
+impl<M> PendingHw<M> {
+    fn target(&self) -> f64 {
+        match self {
+            PendingHw::Timer { target, .. } => *target,
+            PendingHw::Delivery { target, .. } => *target,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum EventKind<M> {
+    /// Spontaneous initialization of a node.
+    Wake { node: NodeId },
+    /// Real-time message delivery.
+    Deliver { src: NodeId, dst: NodeId, msg: M },
+    /// A hardware-value item (timer or hw-targeted delivery) may be due.
+    HwDue { node: NodeId, id: u64 },
+    /// Apply the next step of the node's pre-configured rate schedule.
+    RateStep { node: NodeId, at: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct QueuedEvent<M> {
+    time: f64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState<P: Protocol> {
+    proto: P,
+    hw: HardwareClock,
+    schedule: RateSchedule,
+    /// Pending hardware-value items by id.
+    pending: HashMap<u64, PendingHw<P::Msg>>,
+    /// Timer slot -> pending id, for replacement semantics.
+    timer_slots: HashMap<TimerId, u64>,
+    /// Hardware-targeted deliveries addressed to this node before it was
+    /// initialized; activated at start time.
+    prestart: Vec<PendingHw<P::Msg>>,
+}
+
+/// Builder for [`Engine`].
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct EngineBuilder<P: Protocol, D: DelayModel> {
+    graph: Graph,
+    protocols: Option<Vec<P>>,
+    delay: Option<D>,
+    schedules: Option<Vec<RateSchedule>>,
+}
+
+impl<P: Protocol, D: DelayModel> EngineBuilder<P, D> {
+    /// Sets the per-node protocol instances (one per node, in id order).
+    pub fn protocols(mut self, protocols: Vec<P>) -> Self {
+        self.protocols = Some(protocols);
+        self
+    }
+
+    /// Sets the delay model.
+    pub fn delay_model(mut self, delay: D) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Sets per-node hardware-rate schedules (defaults to rate 1 everywhere).
+    pub fn rate_schedules(mut self, schedules: Vec<RateSchedule>) -> Self {
+        self.schedules = Some(schedules);
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if protocols or the delay model are missing, or if the
+    /// protocol/schedule counts do not match the node count.
+    pub fn build(self) -> Engine<P, D> {
+        let n = self.graph.len();
+        let protocols = self.protocols.expect("protocols not set");
+        assert_eq!(protocols.len(), n, "need one protocol per node");
+        let schedules = self
+            .schedules
+            .unwrap_or_else(|| vec![RateSchedule::default(); n]);
+        assert_eq!(schedules.len(), n, "need one rate schedule per node");
+        let delay = self.delay.expect("delay model not set");
+        let nodes = protocols
+            .into_iter()
+            .zip(schedules)
+            .map(|(proto, schedule)| NodeState {
+                proto,
+                hw: HardwareClock::new(),
+                schedule,
+                pending: HashMap::new(),
+                timer_slots: HashMap::new(),
+                prestart: Vec::new(),
+            })
+            .collect();
+        Engine {
+            graph: self.graph,
+            delay,
+            now: 0.0,
+            seq: 0,
+            next_pending_id: 0,
+            queue: BinaryHeap::new(),
+            nodes,
+            stats: MessageStats {
+                per_node_sends: vec![0; n],
+                ..MessageStats::default()
+            },
+        }
+    }
+}
+
+/// The deterministic discrete-event engine executing one [`Protocol`] per
+/// node of a [`Graph`] under a [`DelayModel`] and per-node hardware-clock
+/// rate schedules.
+///
+/// The engine *is* the paper's execution `E`: it fixes the hardware rates and
+/// all message delays. It is `Clone`, so a driver can snapshot the world,
+/// run ahead to inspect the future, rewind, and continue differently — the
+/// *extended execution* pattern of the paper's lower-bound proofs.
+#[derive(Debug, Clone)]
+pub struct Engine<P: Protocol, D: DelayModel> {
+    graph: Graph,
+    delay: D,
+    now: f64,
+    seq: u64,
+    next_pending_id: u64,
+    queue: BinaryHeap<QueuedEvent<P::Msg>>,
+    nodes: Vec<NodeState<P>>,
+    stats: MessageStats,
+}
+
+impl<P: Protocol, D: DelayModel> Engine<P, D> {
+    /// Starts building an engine over `graph`.
+    pub fn builder(graph: Graph) -> EngineBuilder<P, D> {
+        EngineBuilder {
+            graph,
+            protocols: None,
+            delay: None,
+            schedules: None,
+        }
+    }
+
+    /// The network graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Message counters so far.
+    pub fn message_stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn protocol(&self, v: NodeId) -> &P {
+        &self.nodes[v.index()].proto
+    }
+
+    /// Mutable access to the delay model (e.g. to reconfigure an adversary
+    /// between phases).
+    pub fn delay_model_mut(&mut self) -> &mut D {
+        &mut self.delay
+    }
+
+    /// The hardware-clock reading `H_v(now)`.
+    pub fn hardware_value(&self, v: NodeId) -> f64 {
+        self.nodes[v.index()].hw.value_at(self.now)
+    }
+
+    /// The current hardware rate of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not yet initialized.
+    pub fn hardware_rate(&self, v: NodeId) -> f64 {
+        self.nodes[v.index()].hw.rate()
+    }
+
+    /// The logical-clock reading `L_v(now)`.
+    pub fn logical_value(&self, v: NodeId) -> f64 {
+        let hw = self.hardware_value(v);
+        self.nodes[v.index()].proto.logical_value(hw)
+    }
+
+    /// All logical-clock readings, indexed by node.
+    pub fn logical_values(&self) -> Vec<f64> {
+        self.graph.nodes().map(|v| self.logical_value(v)).collect()
+    }
+
+    /// Whether node `v` has been initialized.
+    pub fn is_started(&self, v: NodeId) -> bool {
+        self.nodes[v.index()].hw.is_started()
+    }
+
+    /// Schedules a spontaneous wake of `v` at time `t ≥ now`. Waking an
+    /// already-initialized node is a no-op at processing time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < now`.
+    pub fn wake(&mut self, v: NodeId, t: f64) {
+        assert!(t >= self.now, "cannot wake in the past");
+        self.push(t, EventKind::Wake { node: v });
+    }
+
+    /// Wakes every node at time `t` (the all-initialized-at-once setting of
+    /// the paper's Section 7 lower bounds).
+    pub fn wake_all_at(&mut self, t: f64) {
+        for v in 0..self.nodes.len() {
+            self.wake(NodeId(v), t);
+        }
+    }
+
+    /// Overrides node `v`'s hardware rate from the current instant onward.
+    ///
+    /// Pre-configured schedule steps that lie in the future will still apply
+    /// when their time comes. Pending hardware-value items are rescheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not initialized or `rate <= 0`.
+    pub fn set_hardware_rate(&mut self, v: NodeId, rate: f64) {
+        let now = self.now;
+        let node = &mut self.nodes[v.index()];
+        node.hw.set_rate(now, rate);
+        self.reschedule_pending(v);
+    }
+
+    /// Time of the next queued event, if any.
+    pub fn next_event_time(&self) -> Option<f64> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Processes the single next event (regardless of horizon); returns its
+    /// time, or `None` if the queue is empty.
+    pub fn step(&mut self) -> Option<f64> {
+        let event = self.queue.pop()?;
+        debug_assert!(event.time >= self.now - 1e-9, "event in the past");
+        self.now = self.now.max(event.time);
+        self.dispatch(event.kind);
+        Some(self.now)
+    }
+
+    /// Processes all events up to and including time `t`, then advances the
+    /// clock to exactly `t`.
+    pub fn run_until(&mut self, t: f64) {
+        assert!(t >= self.now, "cannot run backwards");
+        while let Some(next) = self.next_event_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = t;
+    }
+
+    /// Like [`Engine::run_until`], invoking `observer` after every processed
+    /// event (and once at the horizon). Used by the analysis layer to record
+    /// exact skew extrema: logical clocks are piecewise linear between
+    /// events, so per-event sampling captures every kink.
+    pub fn run_until_observed(&mut self, t: f64, mut observer: impl FnMut(&Self)) {
+        assert!(t >= self.now, "cannot run backwards");
+        while let Some(next) = self.next_event_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+            observer(self);
+        }
+        self.now = t;
+        observer(self);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, time: f64, kind: EventKind<P::Msg>) {
+        assert!(time.is_finite(), "non-finite event time");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent { time, seq, kind });
+    }
+
+    fn dispatch(&mut self, kind: EventKind<P::Msg>) {
+        match kind {
+            EventKind::Wake { node } => self.handle_wake(node),
+            EventKind::Deliver { src, dst, msg } => self.handle_deliver(src, dst, msg),
+            EventKind::HwDue { node, id } => self.handle_hw_due(node, id),
+            EventKind::RateStep { node, at } => self.handle_rate_step(node, at),
+        }
+    }
+
+    fn handle_wake(&mut self, v: NodeId) {
+        if self.nodes[v.index()].hw.is_started() {
+            return;
+        }
+        self.start_node(v);
+        let hw = self.hardware_value(v);
+        let actions = {
+            let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
+            self.nodes[v.index()].proto.on_start(&mut ctx);
+            ctx.actions
+        };
+        self.apply_actions(v, actions);
+    }
+
+    fn start_node(&mut self, v: NodeId) {
+        let now = self.now;
+        let node = &mut self.nodes[v.index()];
+        let rate = node.schedule.rate_at(now);
+        node.hw.start(now, rate);
+        let prestart = std::mem::take(&mut node.prestart);
+        if let Some(change) = node.schedule.next_change_after(now) {
+            self.push(change, EventKind::RateStep { node: v, at: change });
+        }
+        for item in prestart {
+            let id = self.add_pending(v, item);
+            self.schedule_hw_due(v, id);
+        }
+    }
+
+    fn handle_rate_step(&mut self, v: NodeId, at: f64) {
+        let node = &mut self.nodes[v.index()];
+        if !node.hw.is_started() {
+            return;
+        }
+        let rate = node.schedule.rate_at(at);
+        node.hw.set_rate(self.now, rate);
+        if let Some(change) = node.schedule.next_change_after(at) {
+            self.push(change, EventKind::RateStep { node: v, at: change });
+        }
+        self.reschedule_pending(v);
+    }
+
+    fn handle_deliver(&mut self, src: NodeId, dst: NodeId, msg: P::Msg) {
+        self.stats.deliveries += 1;
+        let fresh = !self.nodes[dst.index()].hw.is_started();
+        if fresh {
+            self.start_node(dst);
+        }
+        let hw = self.hardware_value(dst);
+        let actions = {
+            let mut ctx = Context::new(dst, hw, self.graph.neighbors(dst));
+            let proto = &mut self.nodes[dst.index()].proto;
+            if fresh {
+                proto.on_start(&mut ctx);
+            }
+            proto.on_message(&mut ctx, src, msg);
+            ctx.actions
+        };
+        self.apply_actions(dst, actions);
+    }
+
+    fn handle_hw_due(&mut self, v: NodeId, id: u64) {
+        // Stale entries: the item may be gone (already fired / replaced), or
+        // not yet due (a rate slowdown pushed it later; a rescheduled entry
+        // exists at the correct later time).
+        let due = {
+            let node = &self.nodes[v.index()];
+            match node.pending.get(&id) {
+                None => return,
+                Some(item) => node.hw.value_at(self.now) >= item.target() - 1e-9,
+            }
+        };
+        if !due {
+            return;
+        }
+        let item = self.nodes[v.index()].pending.remove(&id).expect("checked");
+        match item {
+            PendingHw::Timer { timer, .. } => {
+                self.nodes[v.index()].timer_slots.remove(&timer);
+                let hw = self.hardware_value(v);
+                let actions = {
+                    let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
+                    self.nodes[v.index()].proto.on_timer(&mut ctx, timer);
+                    ctx.actions
+                };
+                self.apply_actions(v, actions);
+            }
+            PendingHw::Delivery { src, msg, .. } => {
+                self.handle_deliver(src, v, msg);
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, v: NodeId, actions: Vec<Action<P::Msg>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    assert!(
+                        self.graph.neighbors(v).contains(&to),
+                        "{v:?} tried to send to non-neighbour {to:?}"
+                    );
+                    self.stats.send_events += 1;
+                    self.stats.per_node_sends[v.index()] += 1;
+                    self.transmit(v, to, msg);
+                }
+                Action::SendAll { msg } => {
+                    self.stats.send_events += 1;
+                    self.stats.per_node_sends[v.index()] += 1;
+                    let neighbors: Vec<NodeId> = self.graph.neighbors(v).to_vec();
+                    for dst in neighbors {
+                        self.transmit(v, dst, msg.clone());
+                    }
+                }
+                Action::SetTimer { timer, target_hw } => {
+                    self.set_timer(v, timer, target_hw);
+                }
+                Action::CancelTimer { timer } => {
+                    if let Some(id) = self.nodes[v.index()].timer_slots.remove(&timer) {
+                        self.nodes[v.index()].pending.remove(&id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, src: NodeId, dst: NodeId, msg: P::Msg) {
+        self.stats.transmissions += 1;
+        let ctx = DelayCtx {
+            src,
+            dst,
+            now: self.now,
+            src_hw: self.hardware_value(src),
+            dst_hw: self.hardware_value(dst),
+            graph: &self.graph,
+        };
+        let delivery = self.delay.delivery(&ctx);
+        match delivery {
+            Delivery::Drop => {
+                self.stats.dropped += 1;
+            }
+            Delivery::After(d) => {
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "delay model produced invalid delay {d}"
+                );
+                self.push(self.now + d, EventKind::Deliver { src, dst, msg });
+            }
+            Delivery::AtReceiverHw(target) => {
+                let item = PendingHw::Delivery { src, msg, target };
+                if self.nodes[dst.index()].hw.is_started() {
+                    let id = self.add_pending(dst, item);
+                    self.schedule_hw_due(dst, id);
+                } else {
+                    // The receiver has no clock yet; activate at its start.
+                    self.nodes[dst.index()].prestart.push(item);
+                }
+            }
+        }
+    }
+
+    fn set_timer(&mut self, v: NodeId, timer: TimerId, target: f64) {
+        assert!(target.is_finite(), "non-finite timer target");
+        // Replace any previous target in this slot.
+        if let Some(old) = self.nodes[v.index()].timer_slots.remove(&timer) {
+            self.nodes[v.index()].pending.remove(&old);
+        }
+        let id = self.add_pending(v, PendingHw::Timer { timer, target });
+        self.nodes[v.index()].timer_slots.insert(timer, id);
+        self.schedule_hw_due(v, id);
+    }
+
+    fn add_pending(&mut self, v: NodeId, item: PendingHw<P::Msg>) -> u64 {
+        let id = self.next_pending_id;
+        self.next_pending_id += 1;
+        self.nodes[v.index()].pending.insert(id, item);
+        id
+    }
+
+    fn schedule_hw_due(&mut self, v: NodeId, id: u64) {
+        let target = self.nodes[v.index()].pending[&id].target();
+        let t = self.nodes[v.index()]
+            .hw
+            .time_when(target)
+            .expect("node is started")
+            .max(self.now);
+        self.push(t, EventKind::HwDue { node: v, id });
+    }
+
+    fn reschedule_pending(&mut self, v: NodeId) {
+        let ids: Vec<u64> = self.nodes[v.index()].pending.keys().copied().collect();
+        for id in ids {
+            self.schedule_hw_due(v, id);
+        }
+    }
+}

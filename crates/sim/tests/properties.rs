@@ -1,0 +1,122 @@
+//! Property-based tests of the engine's core invariants under randomized
+//! environments.
+
+use gcs_core::{AOpt, MaxAlgorithm, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{rates, Engine, UniformDelay};
+use gcs_time::DriftBounds;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hardware_clocks_track_their_schedules(
+        n in 2usize..8,
+        eps in 0.01f64..0.2,
+        rate_seed in 0u64..200,
+        horizon in 5.0f64..40.0,
+    ) {
+        let drift = DriftBounds::new(eps).unwrap();
+        let schedules = rates::random_walk(n, drift, 1.5, horizon, rate_seed);
+        let g = topology::path(n);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![gcs_core::NoSync; n])
+            .delay_model(UniformDelay::new(0.1, 1))
+            .rate_schedules(schedules.clone())
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(horizon);
+        for v in 0..n {
+            let expected = schedules[v].integrate(0.0, horizon);
+            let actual = engine.hardware_value(NodeId(v));
+            prop_assert!((actual - expected).abs() < 1e-6,
+                "node {v}: H = {actual}, schedule integral = {expected}");
+        }
+    }
+
+    #[test]
+    fn logical_clocks_never_run_backwards(
+        n in 2usize..7,
+        eps in 0.01f64..0.1,
+        seeds in (0u64..100, 0u64..100),
+    ) {
+        let drift = DriftBounds::new(eps).unwrap();
+        let params = Params::recommended(eps, 0.2).unwrap();
+        let schedules = rates::random_walk(n, drift, 2.0, 30.0, seeds.0);
+        let g = topology::cycle(n.max(3));
+        let nn = g.len();
+        let mut schedules = schedules;
+        schedules.resize(nn, gcs_time::RateSchedule::default());
+        let mut engine = Engine::builder(g)
+            .protocols(vec![AOpt::new(params); nn])
+            .delay_model(UniformDelay::new(0.2, seeds.1))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        let mut last = vec![0.0f64; nn];
+        let mut ok = true;
+        engine.run_until_observed(30.0, |e| {
+            for v in 0..nn {
+                let l = e.logical_value(NodeId(v));
+                if l < last[v] - 1e-12 {
+                    ok = false;
+                }
+                last[v] = l;
+            }
+        });
+        prop_assert!(ok, "a logical clock ran backwards");
+    }
+
+    #[test]
+    fn message_accounting_is_consistent(
+        n in 2usize..8,
+        p_edge in 0.1f64..0.5,
+        seeds in (0u64..100, 0u64..100),
+    ) {
+        let g = topology::erdos_renyi(n, p_edge, seeds.0);
+        let nn = g.len();
+        let mut engine = Engine::builder(g)
+            .protocols(vec![MaxAlgorithm::new(0.7); nn])
+            .delay_model(UniformDelay::new(0.2, seeds.1))
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(20.0);
+        let stats = engine.message_stats();
+        // Every broadcast fans out to ≥ 1 neighbour; deliveries can lag
+        // transmissions only by what is still in flight at the horizon.
+        prop_assert!(stats.transmissions >= stats.send_events);
+        prop_assert!(stats.deliveries <= stats.transmissions);
+        prop_assert_eq!(stats.dropped, 0);
+        let per_node_total: u64 = stats.per_node_sends.iter().sum();
+        prop_assert_eq!(per_node_total, stats.send_events);
+    }
+
+    #[test]
+    fn snapshot_and_original_evolve_identically(
+        n in 2usize..7,
+        seeds in (0u64..100, 0u64..100),
+        split_at in 2.0f64..10.0,
+    ) {
+        let eps = 0.05;
+        let drift = DriftBounds::new(eps).unwrap();
+        let params = Params::recommended(eps, 0.2).unwrap();
+        let g = topology::path(n);
+        let schedules = rates::random_walk(n, drift, 2.0, 30.0, seeds.0);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![AOpt::new(params); n])
+            .delay_model(UniformDelay::new(0.2, seeds.1))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until(split_at);
+        let mut copy = engine.clone();
+        engine.run_until(25.0);
+        copy.run_until(25.0);
+        for v in 0..n {
+            prop_assert_eq!(engine.logical_value(NodeId(v)), copy.logical_value(NodeId(v)));
+            prop_assert_eq!(engine.hardware_value(NodeId(v)), copy.hardware_value(NodeId(v)));
+        }
+        prop_assert_eq!(engine.message_stats(), copy.message_stats());
+    }
+}

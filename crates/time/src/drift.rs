@@ -1,0 +1,113 @@
+//! Drift bounds `ε` on hardware-clock rates.
+
+use std::fmt;
+
+use crate::ScheduleError;
+
+/// The maximum hardware-clock drift `ε` of the paper's model: every hardware
+/// clock rate satisfies `1 − ε ≤ h_v(t) ≤ 1 + ε` with `0 < ε < 1`.
+///
+/// The algorithm only knows an upper bound `ε̂ < 1`; both the true `ε` and
+/// the known `ε̂` are represented by this type.
+///
+/// # Example
+///
+/// ```
+/// let eps = gcs_time::DriftBounds::new(1e-4)?;
+/// assert_eq!(eps.min_rate(), 1.0 - 1e-4);
+/// assert_eq!(eps.max_rate(), 1.0 + 1e-4);
+/// assert!(eps.contains(1.00005));
+/// # Ok::<(), gcs_time::ScheduleError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct DriftBounds {
+    epsilon: f64,
+}
+
+impl DriftBounds {
+    /// Creates drift bounds for a maximum relative drift `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError::InvalidRate`] unless `0 < epsilon < 1`
+    /// (`ε = 1` would allow clocks to stand still — the paper's Section 8.1
+    /// explicitly excludes that degenerate case).
+    pub fn new(epsilon: f64) -> crate::Result<Self> {
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon < 1.0) {
+            return Err(ScheduleError::InvalidRate { rate: epsilon });
+        }
+        Ok(DriftBounds { epsilon })
+    }
+
+    /// The maximum relative drift `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The slowest admissible hardware rate, `1 − ε`.
+    pub fn min_rate(&self) -> f64 {
+        1.0 - self.epsilon
+    }
+
+    /// The fastest admissible hardware rate, `1 + ε`.
+    pub fn max_rate(&self) -> f64 {
+        1.0 + self.epsilon
+    }
+
+    /// Whether `rate` lies within `[1 − ε, 1 + ε]` (with a tiny tolerance for
+    /// accumulated floating-point error).
+    pub fn contains(&self, rate: f64) -> bool {
+        rate >= self.min_rate() - 1e-12 && rate <= self.max_rate() + 1e-12
+    }
+
+    /// Clamps `rate` into `[1 − ε, 1 + ε]`.
+    pub fn clamp(&self, rate: f64) -> f64 {
+        rate.clamp(self.min_rate(), self.max_rate())
+    }
+}
+
+impl fmt::Display for DriftBounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ε = {}", self.epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range_is_open_unit_interval() {
+        assert!(DriftBounds::new(0.5).is_ok());
+        assert!(DriftBounds::new(1e-9).is_ok());
+        assert!(DriftBounds::new(0.0).is_err());
+        assert!(DriftBounds::new(1.0).is_err());
+        assert!(DriftBounds::new(-0.1).is_err());
+        assert!(DriftBounds::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rate_interval_matches_epsilon() {
+        let b = DriftBounds::new(0.25).unwrap();
+        assert_eq!(b.min_rate(), 0.75);
+        assert_eq!(b.max_rate(), 1.25);
+        assert!(b.contains(0.75));
+        assert!(b.contains(1.25));
+        assert!(!b.contains(0.74));
+        assert!(!b.contains(1.26));
+    }
+
+    #[test]
+    fn clamp_pins_out_of_range_rates() {
+        let b = DriftBounds::new(0.1).unwrap();
+        assert_eq!(b.clamp(2.0), 1.1);
+        assert_eq!(b.clamp(0.0), 0.9);
+        assert_eq!(b.clamp(1.0), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_epsilon() {
+        let b = DriftBounds::new(0.001).unwrap();
+        assert_eq!(format!("{b}"), "ε = 0.001");
+    }
+}

@@ -1,0 +1,57 @@
+//! Time, hardware-clock, and logical-clock primitives for the reproduction of
+//! Lenzen, Locher & Wattenhofer, *Tight Bounds for Clock Synchronization*
+//! (PODC 2009 / J. ACM 2010).
+//!
+//! The paper's model (its Section 3) describes every node `v` of a distributed
+//! system as owning a **hardware clock** `H_v(t) = ∫ h_v(τ) dτ` whose rate
+//! `h_v(t)` varies arbitrarily within `[1 − ε, 1 + ε]`, and a **logical
+//! clock** `L_v` the algorithm derives from it. This crate provides those two
+//! objects plus the supporting pieces:
+//!
+//! * [`RateSchedule`] — a validated piecewise-constant rate function, the
+//!   representation used both by random drift models and by the adversarial
+//!   executions of the paper's Section 7,
+//! * [`HardwareClock`] — exact forward evaluation `H_v(t)` and inverse lookup
+//!   ("at which real time does `H_v` reach value x?"), the primitive on which
+//!   the event engine's hardware-value timers are built,
+//! * [`LogicalClock`] — a clock driven at `ρ_v · h_v` for a rate multiplier
+//!   `ρ_v` (the paper's Algorithm 3 switches `ρ_v` between `1` and `1 + μ`),
+//! * [`DriftBounds`] and the envelope/progress condition checkers of the
+//!   paper's Conditions (1) and (2).
+//!
+//! Real time, hardware-clock values, and logical-clock values are all plain
+//! `f64` seconds. The simulation operates on exact event times, so `f64`
+//! resolution (~1e-15 relative) is far below every tolerance used by the
+//! bound checks.
+//!
+//! # Example
+//!
+//! ```
+//! use gcs_time::{HardwareClock, RateSchedule};
+//!
+//! // A clock that runs 1% fast for 10s, then 1% slow.
+//! let schedule = RateSchedule::from_steps(vec![(0.0, 1.01), (10.0, 0.99)])?;
+//! let mut hw = HardwareClock::new();
+//! hw.start(0.0, schedule.rate_at(0.0));
+//! hw.set_rate(10.0, schedule.rate_at(10.0));
+//! assert!((hw.value_at(20.0) - 20.0).abs() < 1e-12);
+//! # Ok::<(), gcs_time::ScheduleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conditions;
+mod drift;
+mod hardware;
+mod logical;
+mod rate;
+
+pub use conditions::{EnvelopeChecker, ProgressChecker, RateEnvelope};
+pub use drift::DriftBounds;
+pub use hardware::HardwareClock;
+pub use logical::LogicalClock;
+pub use rate::{RateSchedule, ScheduleError};
+
+/// Convenience result alias for fallible constructors in this crate.
+pub type Result<T> = std::result::Result<T, ScheduleError>;

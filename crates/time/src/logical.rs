@@ -1,0 +1,220 @@
+//! Logical clocks driven at a multiple of the hardware rate.
+
+/// A node's logical clock `L_v`, advanced at `ρ_v · h_v` where `ρ_v` is the
+/// *logical clock rate multiplier* of the paper's Algorithm 3 (either `1` or
+/// `1 + μ` for `A^opt`; other algorithms may use other multipliers).
+///
+/// The clock is anchored to *hardware-clock values* rather than real time:
+/// between multiplier changes, `L_v = L_anchor + ρ_v · (H_v − H_anchor)`.
+/// Keying to `H_v` means hardware-rate changes need no bookkeeping here —
+/// only the algorithm's multiplier switches do. This mirrors the paper's
+/// accounting quantity `R_v(t₁, t₂) = L_v(t₂) − L_v(t₁) − (H_v(t₂) − H_v(t₁))`.
+///
+/// # Example
+///
+/// ```
+/// let mut l = gcs_time::LogicalClock::new();
+/// l.start(0.0); // hardware value at initialization
+/// l.set_multiplier(0.0, 1.0);
+/// l.set_multiplier(10.0, 1.5); // switch to fast mode at H_v = 10
+/// assert_eq!(l.value_at_hw(14.0), 16.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicalClock {
+    anchor: Option<Anchor>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Anchor {
+    /// Hardware-clock value at the last multiplier change.
+    h: f64,
+    /// Logical value at the anchor.
+    l: f64,
+    /// Multiplier `ρ_v` in force since the anchor.
+    multiplier: f64,
+}
+
+impl LogicalClock {
+    /// A clock that has not been started; reads 0 everywhere.
+    pub fn new() -> Self {
+        LogicalClock { anchor: None }
+    }
+
+    /// Whether the clock has been started.
+    pub fn is_started(&self) -> bool {
+        self.anchor.is_some()
+    }
+
+    /// Starts the logical clock at value 0 when the hardware clock reads
+    /// `h` (normally 0), with multiplier 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already started.
+    pub fn start(&mut self, h: f64) {
+        assert!(self.anchor.is_none(), "logical clock started twice");
+        self.anchor = Some(Anchor {
+            h,
+            l: 0.0,
+            multiplier: 1.0,
+        });
+    }
+
+    /// Sets the multiplier `ρ_v` effective from hardware value `h` onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unstarted, if `h` precedes the anchor, or if
+    /// `multiplier <= 0` (the paper's Condition (2) requires strictly
+    /// positive progress).
+    pub fn set_multiplier(&mut self, h: f64, multiplier: f64) {
+        assert!(
+            multiplier > 0.0,
+            "logical multiplier must be positive, got {multiplier}"
+        );
+        let a = self
+            .anchor
+            .as_mut()
+            .expect("set_multiplier on unstarted clock");
+        assert!(h >= a.h, "multiplier change at H={h} precedes anchor {}", a.h);
+        a.l += a.multiplier * (h - a.h);
+        a.h = h;
+        a.multiplier = multiplier;
+    }
+
+    /// Adds `delta` to the clock value instantly at hardware value `h`.
+    ///
+    /// This models the paper's remark after Theorem 5.10: if no strict upper
+    /// bound on the logical clock rate is imposed (`β = ∞`), the computed
+    /// increase `R_v` may simply be added to the clock at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unstarted, `h` precedes the anchor, or `delta < 0` (logical
+    /// clocks never run backwards).
+    pub fn jump(&mut self, h: f64, delta: f64) {
+        assert!(delta >= 0.0, "logical clocks never jump backwards: {delta}");
+        let a = self.anchor.as_mut().expect("jump on unstarted clock");
+        assert!(h >= a.h, "jump at H={h} precedes anchor {}", a.h);
+        a.l += a.multiplier * (h - a.h) + delta;
+        a.h = h;
+    }
+
+    /// The multiplier currently in force.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is unstarted.
+    pub fn multiplier(&self) -> f64 {
+        self.anchor
+            .expect("multiplier of unstarted clock")
+            .multiplier
+    }
+
+    /// The logical value when the hardware clock reads `h`; 0 if unstarted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` precedes the anchor.
+    pub fn value_at_hw(&self, h: f64) -> f64 {
+        match self.anchor {
+            None => 0.0,
+            Some(a) => {
+                assert!(h >= a.h, "value_at_hw({h}) precedes anchor {}", a.h);
+                a.l + a.multiplier * (h - a.h)
+            }
+        }
+    }
+
+    /// Assuming the current multiplier persists, the hardware value at which
+    /// the logical clock reaches `target`; `None` if unstarted, the anchor's
+    /// hardware value if already reached.
+    pub fn hw_when(&self, target: f64) -> Option<f64> {
+        let a = self.anchor?;
+        if target <= a.l {
+            return Some(a.h);
+        }
+        Some(a.h + (target - a.l) / a.multiplier)
+    }
+}
+
+impl Default for LogicalClock {
+    fn default() -> Self {
+        LogicalClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unstarted_reads_zero() {
+        let l = LogicalClock::new();
+        assert_eq!(l.value_at_hw(5.0), 0.0);
+        assert!(!l.is_started());
+        assert_eq!(l.hw_when(1.0), None);
+    }
+
+    #[test]
+    fn tracks_hardware_progress_times_multiplier() {
+        let mut l = LogicalClock::new();
+        l.start(0.0);
+        assert_eq!(l.value_at_hw(4.0), 4.0);
+        l.set_multiplier(4.0, 1.25);
+        assert!((l.value_at_hw(8.0) - 9.0).abs() < 1e-12);
+        l.set_multiplier(8.0, 1.0);
+        assert!((l.value_at_hw(10.0) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jump_advances_instantly() {
+        let mut l = LogicalClock::new();
+        l.start(0.0);
+        l.jump(3.0, 2.0);
+        assert!((l.value_at_hw(3.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "never jump backwards")]
+    fn negative_jump_panics() {
+        let mut l = LogicalClock::new();
+        l.start(0.0);
+        l.jump(1.0, -0.5);
+    }
+
+    #[test]
+    fn hw_when_inverts_value() {
+        let mut l = LogicalClock::new();
+        l.start(2.0);
+        l.set_multiplier(6.0, 2.0);
+        // L = 4 at H = 6; target 10 -> H = 6 + 3 = 9.
+        assert!((l.hw_when(10.0).unwrap() - 9.0).abs() < 1e-12);
+        assert_eq!(l.hw_when(1.0), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "started twice")]
+    fn double_start_panics() {
+        let mut l = LogicalClock::new();
+        l.start(0.0);
+        l.start(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_multiplier_panics() {
+        let mut l = LogicalClock::new();
+        l.start(0.0);
+        l.set_multiplier(1.0, 0.0);
+    }
+
+    #[test]
+    fn multiplier_accessor() {
+        let mut l = LogicalClock::new();
+        l.start(0.0);
+        assert_eq!(l.multiplier(), 1.0);
+        l.set_multiplier(0.0, 1.1);
+        assert_eq!(l.multiplier(), 1.1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for clock primitives.
+
+use gcs_time::{DriftBounds, HardwareClock, LogicalClock, RateSchedule};
+use proptest::prelude::*;
+
+/// Strategy producing a valid list of (start, rate) steps beginning at 0.
+fn schedule_steps() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    (
+        prop::collection::vec((0.01f64..100.0, 0.5f64..1.5), 0..20),
+        0.5f64..1.5,
+    )
+        .prop_map(|(increments, first_rate)| {
+            let mut steps = vec![(0.0, first_rate)];
+            let mut t = 0.0;
+            for (dt, rate) in increments {
+                t += dt;
+                steps.push((t, rate));
+            }
+            steps
+        })
+}
+
+proptest! {
+    #[test]
+    fn schedule_integral_is_monotone_and_rate_bounded(steps in schedule_steps(),
+                                                      a in 0.0f64..500.0,
+                                                      b in 0.0f64..500.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let s = RateSchedule::from_steps(steps).unwrap();
+        let integral = s.integrate(lo, hi);
+        prop_assert!(integral >= 0.0);
+        prop_assert!(integral >= s.min_rate() * (hi - lo) - 1e-9);
+        prop_assert!(integral <= s.max_rate() * (hi - lo) + 1e-9);
+    }
+
+    #[test]
+    fn schedule_integral_is_interval_additive(steps in schedule_steps(),
+                                              a in 0.0f64..200.0,
+                                              b in 0.0f64..200.0,
+                                              c in 0.0f64..200.0) {
+        let mut ts = [a, b, c];
+        ts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let s = RateSchedule::from_steps(steps).unwrap();
+        let whole = s.integrate(ts[0], ts[2]);
+        let split = s.integrate(ts[0], ts[1]) + s.integrate(ts[1], ts[2]);
+        prop_assert!((whole - split).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hardware_clock_matches_schedule_integral(steps in schedule_steps(),
+                                                t in 0.0f64..400.0) {
+        let s = RateSchedule::from_steps(steps).unwrap();
+        let mut hw = HardwareClock::new();
+        hw.start(0.0, s.rate_at(0.0));
+        let mut cursor = 0.0;
+        while let Some(change) = s.next_change_after(cursor) {
+            if change > t {
+                break;
+            }
+            hw.set_rate(change, s.rate_at(change));
+            cursor = change;
+        }
+        let expected = s.integrate(0.0, t);
+        prop_assert!((hw.value_at(t) - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn hardware_time_when_round_trips(rate in 0.5f64..1.5,
+                                      start in 0.0f64..50.0,
+                                      target in 0.0f64..100.0) {
+        let mut hw = HardwareClock::new();
+        hw.start(start, rate);
+        let t = hw.time_when(target).unwrap();
+        prop_assert!(t >= start);
+        if target > 0.0 {
+            prop_assert!((hw.value_at(t) - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn logical_clock_is_monotone(jumps in prop::collection::vec((0.01f64..10.0, 0.9f64..1.5), 1..20)) {
+        let mut l = LogicalClock::new();
+        l.start(0.0);
+        let mut h = 0.0;
+        let mut last_value = 0.0;
+        for (dh, m) in jumps {
+            h += dh;
+            let v = l.value_at_hw(h);
+            prop_assert!(v >= last_value - 1e-12);
+            last_value = v;
+            l.set_multiplier(h, m);
+        }
+    }
+
+    #[test]
+    fn drift_bounds_clamp_is_contained(eps in 1e-6f64..0.99, rate in -2.0f64..4.0) {
+        let b = DriftBounds::new(eps).unwrap();
+        prop_assert!(b.contains(b.clamp(rate)));
+    }
+}

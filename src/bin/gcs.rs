@@ -1,0 +1,454 @@
+//! `gcs` — command-line driver for the gradient clock-synchronization
+//! reproduction.
+//!
+//! ```text
+//! gcs bounds      print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
+//! gcs run         simulate an algorithm on a topology and report skews
+//! gcs lb-global   run the Theorem 7.2 forced-global-skew construction
+//! gcs lb-local    run the Theorem 7.7 forced-local-skew construction
+//! ```
+//!
+//! Run `gcs <command> --help` (or no arguments) for the options.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use clock_sync::adversary::framed::LocalLowerBound;
+use clock_sync::adversary::shift::GlobalLowerBound;
+use clock_sync::adversary::WavefrontDelay;
+use clock_sync::analysis::{ClockTrace, SkewObserver, Table};
+use clock_sync::core::{
+    AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
+};
+use clock_sync::graph::{topology, Graph, NodeId};
+use clock_sync::sim::{
+    rates, ConstantDelay, DelayModel, DirectionalDelay, Engine, Protocol, UniformDelay,
+};
+use clock_sync::time::{DriftBounds, RateSchedule};
+
+const USAGE: &str = "\
+gcs — gradient clock synchronization (Lenzen/Locher/Wattenhofer) toolkit
+
+USAGE:
+    gcs bounds    [--eps E] [--t T] [--d D] [--sigma S]
+    gcs run       [--algo NAME] [--topology SPEC] [--eps E] [--t T]
+                  [--horizon H] [--delays SPEC] [--rates SPEC] [--seed N]
+                  [--trace FILE.csv]
+    gcs lb-global [--d D] [--eps E] [--t T] [--t-hat TH]
+    gcs lb-local  [--b B] [--stages S] [--eps E] [--t T] [--algo NAME]
+
+ALGORITHMS (--algo):
+    aopt (default) | jump | mingap | envelope | max | midpoint | nosync
+
+TOPOLOGIES (--topology):
+    path:N | ring:N | grid:WxH | tree:N | star:N | hypercube:DIM
+    er:N:P (Erdős–Rényi) | geo:N:R (random geometric)     default: path:16
+
+DELAYS (--delays):
+    uniform (default) | const | zero | directional | wavefront:BOUNDARY
+
+RATES (--rates):
+    walk (default) | split | alternating:PERIOD | gradient | nominal
+
+EXAMPLES:
+    gcs bounds --eps 1e-4 --t 0.001 --d 30
+    gcs run --topology grid:6x6 --delays uniform --rates walk --horizon 200
+    gcs run --algo max --topology path:32 --delays wavefront:24
+    gcs lb-global --d 16 --eps 0.05 --t 0.5 --t-hat 1.0
+    gcs lb-local --b 5 --stages 2 --eps 0.2 --algo nosync
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match Options::parse(rest) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "bounds" => cmd_bounds(&opts),
+        "run" => cmd_run(&opts),
+        "lb-global" => cmd_lb_global(&opts),
+        "lb-local" => cmd_lb_local(&opts),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `--key value` options.
+struct Options {
+    values: HashMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(key) = iter.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected an option, got `{key}`"));
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("option `{key}` needs a value"));
+            };
+            values.insert(name.to_string(), value.clone());
+        }
+        Ok(Options { values })
+    }
+
+    fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map_or(default, String::as_str)
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: `{v}` is not a number")),
+        }
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: `{v}` is not an integer")),
+        }
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: `{v}` is not an integer")),
+        }
+    }
+}
+
+fn parse_topology(spec: &str, seed: u64) -> Result<Graph, String> {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let arg = parts.next();
+    let arg2 = parts.next();
+    fn need<'a>(a: Option<&'a str>, spec: &str) -> Result<&'a str, String> {
+        a.ok_or_else(|| format!("topology `{spec}` needs a size"))
+    }
+    let int = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|_| format!("bad size in topology `{spec}`"))
+    };
+    match kind {
+        "path" => Ok(topology::path(int(need(arg, spec)?)?)),
+        "ring" => Ok(topology::cycle(int(need(arg, spec)?)?)),
+        "star" => Ok(topology::star(int(need(arg, spec)?)?)),
+        "tree" => Ok(topology::binary_tree(int(need(arg, spec)?)?)),
+        "hypercube" => Ok(topology::hypercube(int(need(arg, spec)?)?)),
+        "grid" => {
+            let dims = need(arg, spec)?;
+            let (w, h) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("grid needs WxH, got `{dims}`"))?;
+            Ok(topology::grid(int(w)?, int(h)?))
+        }
+        "er" => {
+            let n = int(need(arg, spec)?)?;
+            let p: f64 = need(arg2, spec)?
+                .parse()
+                .map_err(|_| format!("bad probability in `{spec}`"))?;
+            Ok(topology::erdos_renyi(n, p, seed))
+        }
+        "geo" => {
+            let n = int(need(arg, spec)?)?;
+            let r: f64 = need(arg2, spec)?
+                .parse()
+                .map_err(|_| format!("bad radius in `{spec}`"))?;
+            Ok(topology::random_geometric(n, r, seed))
+        }
+        other => Err(format!("unknown topology `{other}`")),
+    }
+}
+
+fn parse_rates(
+    spec: &str,
+    n: usize,
+    drift: DriftBounds,
+    horizon: f64,
+    seed: u64,
+) -> Result<Vec<RateSchedule>, String> {
+    let (kind, arg) = spec.split_once(':').unwrap_or((spec, ""));
+    match kind {
+        "walk" => Ok(rates::random_walk(n, drift, 5.0, horizon, seed)),
+        "split" => Ok(rates::split(n, drift, |v| v < n / 2)),
+        "gradient" => Ok(rates::gradient(n, drift)),
+        "nominal" => Ok(rates::nominal(n)),
+        "alternating" => {
+            let period: f64 = if arg.is_empty() {
+                10.0
+            } else {
+                arg.parse().map_err(|_| format!("bad period `{arg}`"))?
+            };
+            Ok(rates::alternating(n, drift, period, horizon))
+        }
+        other => Err(format!("unknown rates spec `{other}`")),
+    }
+}
+
+fn cmd_bounds(opts: &Options) -> Result<(), String> {
+    let eps = opts.f64_or("eps", 1e-3)?;
+    let t = opts.f64_or("t", 0.01)?;
+    let d = opts.usize_or("d", 32)? as u32;
+    let params = match opts.values.get("sigma") {
+        Some(s) => {
+            let sigma: u32 = s.parse().map_err(|_| "bad --sigma".to_string())?;
+            Params::with_sigma(eps, t, sigma)
+        }
+        None => Params::recommended(eps, t),
+    }
+    .map_err(|e| e.to_string())?;
+    let (alpha, beta) = params.rate_envelope();
+    let mut table = Table::new(vec!["quantity", "value"]);
+    table.row(vec!["ε̂ (drift bound)".into(), format!("{eps}")]);
+    table.row(vec!["𝒯̂ (delay bound)".into(), format!("{t}")]);
+    table.row(vec!["μ (fast-mode boost)".into(), format!("{:.6}", params.mu())]);
+    table.row(vec!["H₀ (send period)".into(), format!("{:.6}", params.h0())]);
+    table.row(vec!["κ (quantum)".into(), format!("{:.6}", params.kappa())]);
+    table.row(vec!["σ (log base)".into(), params.sigma().to_string()]);
+    table.row(vec!["α (min logical rate)".into(), format!("{alpha:.6}")]);
+    table.row(vec!["β (max logical rate)".into(), format!("{beta:.6}")]);
+    table.row(vec![
+        format!("𝒢 global bound (D = {d})"),
+        format!("{:.6}", params.global_skew_bound(d)),
+    ]);
+    table.row(vec![
+        format!("local bound (D = {d})"),
+        format!("{:.6}", params.local_skew_bound(d)),
+    ]);
+    table.row(vec![
+        "amortized msgs/node/𝒯̂".into(),
+        format!("{:.4}", t / params.h0()),
+    ]);
+    println!("{table}");
+    Ok(())
+}
+
+fn run_any<P: Protocol, D: DelayModel>(
+    graph: Graph,
+    protocols: Vec<P>,
+    delay: D,
+    schedules: Vec<RateSchedule>,
+    horizon: f64,
+    trace_path: Option<&str>,
+) -> Result<(SkewObserver, u64), String> {
+    let n = graph.len();
+    let mut observer = SkewObserver::new(&graph);
+    let mut trace = trace_path.map(|_| ClockTrace::new(n, horizon / 500.0));
+    let mut engine = Engine::builder(graph)
+        .protocols(protocols)
+        .delay_model(delay)
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until_observed(horizon, |e| {
+        observer.observe(e);
+        if let Some(trace) = trace.as_mut() {
+            trace.observe(e);
+        }
+    });
+    if let (Some(path), Some(trace)) = (trace_path, trace) {
+        trace
+            .write_csv(path)
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        println!("trace written to {path} ({} rows)", trace.len());
+    }
+    Ok((observer, engine.message_stats().send_events))
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let eps = opts.f64_or("eps", 1e-2)?;
+    let t = opts.f64_or("t", 0.1)?;
+    let horizon = opts.f64_or("horizon", 120.0)?;
+    let seed = opts.u64_or("seed", 42)?;
+    let graph = parse_topology(opts.str_or("topology", "path:16"), seed)?;
+    let n = graph.len();
+    let d = graph.diameter();
+    let drift = DriftBounds::new(eps).map_err(|e| e.to_string())?;
+    let schedules = parse_rates(opts.str_or("rates", "walk"), n, drift, horizon, seed)?;
+    let params = Params::recommended(eps, t).map_err(|e| e.to_string())?;
+    let algo = opts.str_or("algo", "aopt");
+    let trace_path = opts.values.get("trace").map(String::as_str);
+
+    // Delay model selection (monomorphized per arm).
+    macro_rules! dispatch_delay {
+        ($protocols:expr) => {{
+            let delay_spec = opts.str_or("delays", "uniform");
+            let (kind, arg) = delay_spec.split_once(':').unwrap_or((delay_spec, ""));
+            match kind {
+                "uniform" => run_any(graph.clone(), $protocols, UniformDelay::new(t, seed), schedules.clone(), horizon, trace_path)?,
+                "const" => run_any(graph.clone(), $protocols, ConstantDelay::new(t / 2.0), schedules.clone(), horizon, trace_path)?,
+                "zero" => run_any(graph.clone(), $protocols, ConstantDelay::new(0.0), schedules.clone(), horizon, trace_path)?,
+                "directional" => run_any(
+                    graph.clone(),
+                    $protocols,
+                    DirectionalDelay::new(&graph, NodeId(0), 0.0, t),
+                    schedules.clone(),
+                    horizon,
+                    trace_path,
+                )?,
+                "wavefront" => {
+                    let boundary: u32 = if arg.is_empty() {
+                        (d / 2).max(1)
+                    } else {
+                        arg.parse().map_err(|_| format!("bad boundary `{arg}`"))?
+                    };
+                    let flip = boundary as f64 * t / (2.0 * eps) + 20.0;
+                    run_any(
+                        graph.clone(),
+                        $protocols,
+                        WavefrontDelay::new(&graph, NodeId(0), t, flip, boundary),
+                        schedules.clone(),
+                        horizon.max(flip + 10.0),
+                        trace_path,
+                    )?
+                }
+                other => return Err(format!("unknown delays spec `{other}`")),
+            }
+        }};
+    }
+
+    let (observer, send_events) = match algo {
+        "aopt" => dispatch_delay!(vec![AOpt::new(params); n]),
+        "jump" => dispatch_delay!(vec![AOptJump::new(params); n]),
+        "mingap" => dispatch_delay!(vec![MinGapAOpt::new(params); n]),
+        "envelope" => dispatch_delay!(vec![EnvelopeAOpt::new(params); n]),
+        "max" => dispatch_delay!(vec![MaxAlgorithm::new(1.0); n]),
+        "midpoint" => dispatch_delay!(vec![MidpointAlgorithm::new(params.h0(), params.mu()); n]),
+        "nosync" => dispatch_delay!(vec![NoSync; n]),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+
+    let mut table = Table::new(vec!["quantity", "value"]);
+    table.row(vec!["algorithm".into(), algo.to_string()]);
+    table.row(vec!["nodes / diameter".into(), format!("{n} / {d}")]);
+    table.row(vec![
+        "worst global skew".into(),
+        format!(
+            "{:.6}  (at t = {:.2})",
+            observer.worst_global(),
+            observer.worst_global_at()
+        ),
+    ]);
+    table.row(vec![
+        "worst local skew".into(),
+        format!(
+            "{:.6}  (at t = {:.2})",
+            observer.worst_local(),
+            observer.worst_local_at()
+        ),
+    ]);
+    table.row(vec![
+        "A^opt bounds (𝒢 / local)".into(),
+        format!(
+            "{:.6} / {:.6}",
+            params.global_skew_bound(d),
+            params.local_skew_bound(d)
+        ),
+    ]);
+    table.row(vec!["send events".into(), send_events.to_string()]);
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_lb_global(opts: &Options) -> Result<(), String> {
+    let d = opts.usize_or("d", 8)?;
+    let eps = opts.f64_or("eps", 0.05)?;
+    let t = opts.f64_or("t", 0.5)?;
+    let t_hat = opts.f64_or("t-hat", 2.0 * t)?;
+    let lb = GlobalLowerBound::new(topology::path(d + 1), eps, eps, t, t_hat, eps / 5.0);
+    let params = Params::recommended(eps, t_hat).map_err(|e| e.to_string())?;
+    let (reports, indistinguishable) =
+        lb.verify_indistinguishable(|| vec![AOpt::new(params); d + 1]);
+    let mut table = Table::new(vec!["execution", "endpoint skew", "max skew"]);
+    for r in &reports {
+        table.row(vec![
+            format!("{:?}", r.execution),
+            format!("{:.4}", r.endpoint_skew),
+            format!("{:.4}", r.max_skew),
+        ]);
+    }
+    println!("Theorem 7.2 on a path of D = {d} (ε = {eps}, 𝒯 = {t}, 𝒯̂ = {t_hat}):");
+    println!("ϱ = {:.4}, predicted floor (1+ϱ)D𝒯 = {:.4}\n", lb.rho(), lb.predicted_skew());
+    println!("{table}");
+    println!("locally indistinguishable at every node: {indistinguishable}");
+    println!(
+        "A^opt upper bound 𝒢 = {:.4}; forced/𝒢 = {:.2}",
+        params.global_skew_bound(d as u32),
+        reports[2].endpoint_skew / params.global_skew_bound(d as u32)
+    );
+    Ok(())
+}
+
+fn cmd_lb_local(opts: &Options) -> Result<(), String> {
+    let b = opts.usize_or("b", 4)?;
+    let stages = opts.usize_or("stages", 2)?;
+    let eps = opts.f64_or("eps", 0.2)?;
+    let t = opts.f64_or("t", 1.0)?;
+    let alpha = 1.0 - eps;
+    let lb = LocalLowerBound::new(b, stages, eps, t, alpha);
+    let algo = opts.str_or("algo", "nosync");
+    let reports = match algo {
+        "nosync" => lb.run(|n| vec![NoSync; n]),
+        "aopt" => {
+            let params = Params::recommended(eps, t).map_err(|e| e.to_string())?;
+            lb.run(|n| vec![AOpt::new(params); n])
+        }
+        "jump" => {
+            let params = Params::recommended(eps, t).map_err(|e| e.to_string())?;
+            lb.run(|n| vec![AOptJump::new(params); n])
+        }
+        other => return Err(format!("lb-local supports nosync|aopt|jump, got `{other}`")),
+    };
+    println!(
+        "Theorem 7.7 construction: D' = {}, b = {b}, {stages} stages, vs {algo}\n",
+        lb.d_prime()
+    );
+    let mut table = Table::new(vec!["stage", "pair", "distance", "skew", "target"]);
+    for r in &reports {
+        table.row(vec![
+            r.stage.to_string(),
+            format!("v{}..v{}", r.ahead, r.behind),
+            r.distance.to_string(),
+            format!("{:.4}", r.skew),
+            format!("{:.4}", r.target),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "guaranteed final neighbour skew (when b ≥ Thm 7.7's threshold): {:.4}",
+        lb.guaranteed_final_skew()
+    );
+    Ok(())
+}

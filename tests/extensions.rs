@@ -1,0 +1,198 @@
+//! Integration tests for the extension features: discrete ticks (§8.4),
+//! the hardware envelope (§8.6), minimum send gaps (§6.1), piggybacking
+//! (§1), adaptive `𝒯̂` (§8.1), and the beyond-model loss robustness.
+
+use clock_sync::analysis::SkewObserver;
+use clock_sync::core::{
+    AdaptiveAOpt, AOpt, EnvelopeAOpt, MinGapAOpt, Params, PiggybackAOpt,
+};
+use clock_sync::graph::{topology, NodeId};
+use clock_sync::sim::{rates, Engine, LossyDelay, Ticked, UniformDelay};
+use clock_sync::time::DriftBounds;
+
+const EPS: f64 = 0.02;
+const T_MAX: f64 = 0.25;
+
+fn params() -> Params {
+    Params::recommended(EPS, T_MAX).unwrap()
+}
+
+fn drift() -> DriftBounds {
+    DriftBounds::new(EPS).unwrap()
+}
+
+#[test]
+fn ticked_a_opt_respects_bounds_when_ticks_are_fine() {
+    // Ticks at 𝒯/16: granularity is negligible, bounds must hold as-is.
+    let p = params();
+    let n = 8;
+    let g = topology::path(n);
+    let schedules = rates::split(n, drift(), |v| v < n / 2);
+    let mut observer = SkewObserver::new(&g);
+    let mut engine = Engine::builder(g)
+        .protocols(vec![Ticked::new(AOpt::new(p), T_MAX / 16.0); n])
+        .delay_model(UniformDelay::new(T_MAX, 3))
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until_observed(120.0, |e| observer.observe(e));
+    assert!(observer.worst_global() <= p.global_skew_bound((n - 1) as u32) + 1e-9);
+    assert!(observer.worst_local() <= p.local_skew_bound((n - 1) as u32) + 1e-9);
+}
+
+#[test]
+fn ticked_a_opt_degrades_with_coarse_ticks() {
+    let p = params();
+    let n = 6;
+    let run = |period: f64| {
+        let g = topology::path(n);
+        let schedules = rates::split(n, drift(), |v| v < n / 2);
+        let mut observer = SkewObserver::new(&g);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![Ticked::new(AOpt::new(p), period); n])
+            .delay_model(UniformDelay::new(T_MAX, 3))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(120.0, |e| observer.observe(e));
+        observer.worst_global()
+    };
+    let fine = run(T_MAX / 16.0);
+    let coarse = run(4.0 * T_MAX);
+    assert!(
+        coarse > fine,
+        "coarse ticks ({coarse}) should hurt vs fine ({fine})"
+    );
+}
+
+#[test]
+fn envelope_variant_stays_within_hardware_extremes_on_a_grid() {
+    let p = params();
+    let g = topology::grid(3, 3);
+    let n = g.len();
+    let schedules = rates::random_walk(n, drift(), 5.0, 100.0, 8);
+    let mut engine = Engine::builder(g)
+        .protocols(vec![EnvelopeAOpt::new(p); n])
+        .delay_model(UniformDelay::new(T_MAX, 9))
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until_observed(100.0, |e| {
+        let hws: Vec<f64> = (0..n).map(|v| e.hardware_value(NodeId(v))).collect();
+        let h_min = hws.iter().cloned().fold(f64::MAX, f64::min);
+        let h_max = hws.iter().cloned().fold(f64::MIN, f64::max);
+        for v in 0..n {
+            let l = e.logical_value(NodeId(v));
+            assert!(l >= h_min - 1e-9 && l <= h_max + 1e-9, "node {v} escaped");
+        }
+    });
+}
+
+#[test]
+fn min_gap_and_plain_a_opt_agree_under_calm_conditions() {
+    let p = params();
+    let n = 6;
+    let run_skew = |gapped: bool| {
+        let g = topology::path(n);
+        let schedules = rates::split(n, drift(), |v| v % 2 == 0);
+        let mut observer = SkewObserver::new(&g);
+        if gapped {
+            let mut engine = Engine::builder(g)
+                .protocols(vec![MinGapAOpt::new(p); n])
+                .delay_model(UniformDelay::new(T_MAX, 4))
+                .rate_schedules(schedules)
+                .build();
+            engine.wake_all_at(0.0);
+            engine.run_until_observed(150.0, |e| observer.observe(e));
+        } else {
+            let mut engine = Engine::builder(g)
+                .protocols(vec![AOpt::new(p); n])
+                .delay_model(UniformDelay::new(T_MAX, 4))
+                .rate_schedules(schedules)
+                .build();
+            engine.wake_all_at(0.0);
+            engine.run_until_observed(150.0, |e| observer.observe(e));
+        }
+        observer.worst_global()
+    };
+    let plain = run_skew(false);
+    let gapped = run_skew(true);
+    // The εDH₀ premium is small at these parameters.
+    let premium = 4.0 * EPS * n as f64 * p.h0();
+    assert!(gapped <= plain + premium, "gapped {gapped} vs plain {plain}");
+}
+
+#[test]
+fn piggybacking_preserves_bounds_across_app_rates() {
+    let p = params();
+    let n = 6;
+    for app_gap in [p.h0() / 4.0, p.h0() * 8.0] {
+        let g = topology::path(n);
+        let schedules = rates::split(n, drift(), |v| v < n / 2);
+        let nodes: Vec<PiggybackAOpt> = (0..n)
+            .map(|v| PiggybackAOpt::new(p, app_gap, v as u64 + 1))
+            .collect();
+        let mut observer = SkewObserver::new(&g);
+        let mut engine = Engine::builder(g)
+            .protocols(nodes)
+            .delay_model(UniformDelay::new(T_MAX, 2))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(150.0, |e| observer.observe(e));
+        assert!(
+            observer.worst_global() <= p.global_skew_bound((n - 1) as u32) + 1e-9,
+            "bound broken at app gap {app_gap}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_nodes_interop_with_unknown_delays_on_a_tree() {
+    let n = 15;
+    let g = topology::binary_tree(n);
+    let d = g.diameter();
+    let schedules = rates::random_walk(n, drift(), 6.0, 400.0, 12);
+    let mut engine = Engine::builder(g)
+        .protocols(vec![AdaptiveAOpt::new(EPS, 0.005); n])
+        .delay_model(UniformDelay::new(T_MAX, 21))
+        .rate_schedules(schedules)
+        .build();
+    engine.wake(NodeId(0), 0.0);
+    engine.run_until(200.0);
+    let converged = *engine.protocol(NodeId(0)).params();
+    assert!(converged.t_hat() >= 0.05 && converged.t_hat() <= 4.2 * T_MAX / (1.0 - EPS));
+    let mut worst: f64 = 0.0;
+    engine.run_until_observed(400.0, |e| {
+        let clocks = e.logical_values();
+        let max = clocks.iter().cloned().fold(f64::MIN, f64::max);
+        let min = clocks.iter().cloned().fold(f64::MAX, f64::min);
+        worst = worst.max(max - min);
+    });
+    assert!(worst <= converged.global_skew_bound(d) + 1e-9);
+}
+
+#[test]
+fn loss_degrades_gracefully_and_drops_are_counted() {
+    let p = params();
+    let n = 8;
+    let run = |loss: f64| {
+        let g = topology::path(n);
+        let schedules = rates::split(n, drift(), |v| v < n / 2);
+        let mut observer = SkewObserver::new(&g);
+        let mut engine = Engine::builder(g)
+            .protocols(vec![AOpt::new(p); n])
+            .delay_model(LossyDelay::new(UniformDelay::new(T_MAX, 7), loss, 13))
+            .rate_schedules(schedules)
+            .build();
+        engine.wake_all_at(0.0);
+        engine.run_until_observed(150.0, |e| observer.observe(e));
+        (observer.worst_global(), engine.message_stats().dropped)
+    };
+    let (clean, zero_drops) = run(0.0);
+    let (lossy, drops) = run(0.3);
+    assert_eq!(zero_drops, 0);
+    assert!(drops > 0);
+    // Graceful: within a small constant of the clean run, not a blow-up.
+    assert!(lossy <= 4.0 * clean + p.kappa(), "lossy {lossy} vs clean {clean}");
+}

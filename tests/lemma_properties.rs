@@ -1,0 +1,159 @@
+//! Direct empirical checks of the paper's inner lemmas — the load-bearing
+//! steps inside the proofs of Theorems 5.5 and 5.10.
+
+use clock_sync::core::{AOpt, Params};
+use clock_sync::graph::{topology, NodeId};
+use clock_sync::sim::{rates, Engine, UniformDelay};
+use clock_sync::time::DriftBounds;
+
+const EPS: f64 = 0.02;
+const T_MAX: f64 = 0.25;
+
+/// Linear interpolation of a recorded, piecewise-linear clock trajectory.
+fn value_at(history: &[(f64, f64)], t: f64) -> Option<f64> {
+    if history.is_empty() || t < history[0].0 {
+        return None;
+    }
+    match history.binary_search_by(|&(ht, _)| ht.partial_cmp(&t).unwrap()) {
+        Ok(i) => Some(history[i].1),
+        Err(0) => None,
+        Err(i) if i == history.len() => Some(history[i - 1].1),
+        Err(i) => {
+            let (t0, l0) = history[i - 1];
+            let (t1, l1) = history[i];
+            Some(l0 + (l1 - l0) * (t - t0) / (t1 - t0))
+        }
+    }
+}
+
+#[test]
+fn lemma_5_4_estimate_accuracy() {
+    // Lemma 5.4: once v has heard from w, L_v^w(t) > L_w(t − 𝒯) − H̄₀.
+    // Clocks are piecewise linear between events, so recording them at every
+    // event and interpolating reconstructs L_w(t − 𝒯) exactly.
+    let params = Params::recommended(EPS, T_MAX).unwrap();
+    let n = 6;
+    let g = topology::path(n);
+    let drift = DriftBounds::new(EPS).unwrap();
+    let schedules = rates::random_walk(n, drift, 4.0, 120.0, 11);
+    let mut engine = Engine::builder(g.clone())
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(UniformDelay::new(T_MAX, 5))
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    let mut histories: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n];
+    let h0_bar = params.h0_bar();
+    let mut checks = 0u64;
+    engine.run_until_observed(120.0, |e| {
+        let t = e.now();
+        for v in 0..n {
+            histories[v].push((t, e.logical_value(NodeId(v))));
+        }
+        for v in 0..n {
+            let hw = e.hardware_value(NodeId(v));
+            let node = e.protocol(NodeId(v));
+            for &w in g.neighbors(NodeId(v)) {
+                if let Some(est) = node.neighbor_estimate(w, hw) {
+                    if let Some(l_w_then) = value_at(&histories[w.index()], t - T_MAX) {
+                        checks += 1;
+                        assert!(
+                            est > l_w_then - h0_bar - 1e-9,
+                            "Lemma 5.4 violated at t = {t}: node {v}'s estimate of \
+                             {w} is {est}, but L_w(t − 𝒯) − H̄₀ = {}",
+                            l_w_then - h0_bar
+                        );
+                    }
+                }
+            }
+        }
+    });
+    assert!(checks > 1_000, "only {checks} checks performed");
+}
+
+#[test]
+fn corollary_5_2_lmax_dominates_and_grows_slowly() {
+    // Corollary 5.2: (i) L_v ≤ L_v^max always; (ii) the system-wide maximum
+    // estimate L^max grows at most at rate 1 + ε.
+    let params = Params::recommended(EPS, T_MAX).unwrap();
+    let n = 7;
+    let g = topology::cycle(n);
+    let drift = DriftBounds::new(EPS).unwrap();
+    let schedules = rates::alternating(n, drift, 9.0, 150.0);
+    let mut engine = Engine::builder(g)
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(UniformDelay::new(T_MAX, 8))
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    let mut last: Option<(f64, f64)> = None;
+    engine.run_until_observed(150.0, |e| {
+        let t = e.now();
+        let mut lmax_global = f64::MIN;
+        for v in 0..n {
+            let hw = e.hardware_value(NodeId(v));
+            let node = e.protocol(NodeId(v));
+            let lmax = node.lmax_value(hw);
+            // (i)
+            assert!(
+                e.logical_value(NodeId(v)) <= lmax + 1e-9,
+                "Corollary 5.2(i) violated at node {v}, t = {t}"
+            );
+            lmax_global = lmax_global.max(lmax);
+        }
+        // (ii)
+        if let Some((t0, m0)) = last {
+            let dt = t - t0;
+            assert!(
+                lmax_global - m0 <= (1.0 + EPS) * dt + 1e-9,
+                "Corollary 5.2(ii) violated: L^max grew {} in {dt}",
+                lmax_global - m0
+            );
+        }
+        last = Some((t, lmax_global));
+    });
+}
+
+#[test]
+fn lemma_5_1_rate_decisions_are_stable_between_messages() {
+    // Lemma 5.1's observable consequence: the logical rate multiplier only
+    // changes at message arrivals or at the precomputed H^R crossing — never
+    // "drifts" in between. We verify that between any two consecutive
+    // events at a node, the logical clock is exactly linear in the hardware
+    // clock with slope 1 or 1 + μ.
+    let params = Params::recommended(EPS, T_MAX).unwrap();
+    let n = 5;
+    let g = topology::path(n);
+    let drift = DriftBounds::new(EPS).unwrap();
+    let schedules = rates::split(n, drift, |v| v < n / 2);
+    let mut engine = Engine::builder(g)
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(UniformDelay::new(T_MAX, 3))
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    let mu = params.mu();
+    let mut prev: Vec<Option<(f64, f64, f64)>> = vec![None; n]; // (hw, L, mult)
+    engine.run_until_observed(100.0, |e| {
+        for v in 0..n {
+            let hw = e.hardware_value(NodeId(v));
+            let l = e.logical_value(NodeId(v));
+            let mult = e.protocol(NodeId(v)).multiplier();
+            assert!(
+                (mult - 1.0).abs() < 1e-12 || (mult - (1.0 + mu)).abs() < 1e-12,
+                "multiplier {mult} is neither 1 nor 1 + μ"
+            );
+            if let Some((hw0, l0, mult0)) = prev[v] {
+                let dh = hw - hw0;
+                let dl = l - l0;
+                // The increment must be achievable by a (possibly mid-span
+                // switched) mix of the two slopes.
+                assert!(
+                    dl >= dh - 1e-9 && dl <= (1.0 + mu) * dh + 1e-9,
+                    "node {v}: ΔL = {dl} for ΔH = {dh} (mult was {mult0})"
+                );
+            }
+            prev[v] = Some((hw, l, mult));
+        }
+    });
+}
