@@ -79,8 +79,7 @@ impl DelayModel for StagedDelay {
         } else {
             self.t_max
         };
-        let target =
-            self.bases[ctx.dst.index()] + (ctx.src_hw - self.bases[ctx.src.index()]) + d_e;
+        let target = self.bases[ctx.dst.index()] + (ctx.src_hw - self.bases[ctx.src.index()]) + d_e;
         Delivery::AtReceiverHw(target)
     }
 
@@ -349,10 +348,7 @@ mod tests {
         let lb = LocalLowerBound::new(5, 2, 0.2, 1.0, 0.8);
         let reports = lb.run(|n| vec![NoSync; n]);
         // Targets: 0.5·α·n₀𝒯, 1·α·n₁𝒯, 1.5·α·n₂𝒯 — per-edge average grows.
-        let averages: Vec<f64> = reports
-            .iter()
-            .map(|r| r.skew / r.distance as f64)
-            .collect();
+        let averages: Vec<f64> = reports.iter().map(|r| r.skew / r.distance as f64).collect();
         assert!(averages.windows(2).all(|w| w[1] > w[0] - 1e-9));
     }
 
@@ -370,7 +366,11 @@ mod tests {
         assert!(reports[0].skew >= reports[0].target - 1e-9);
         let last = reports.last().unwrap();
         assert_eq!(last.distance, 1);
-        assert!(last.skew > 0.2 * t_max, "final skew {} too small", last.skew);
+        assert!(
+            last.skew > 0.2 * t_max,
+            "final skew {} too small",
+            last.skew
+        );
         // …and A^opt never violates its own guarantees while being attacked.
         assert!(last.skew <= params.local_skew_bound(9) + 1e-9);
     }

@@ -34,7 +34,10 @@ impl FlappingDelay {
     /// Panics if `t_max < 0` or `period <= 0`.
     pub fn new(graph: &Graph, reference: NodeId, t_max: f64, period: f64) -> Self {
         assert!(t_max >= 0.0 && t_max.is_finite(), "invalid 𝒯 {t_max}");
-        assert!(period > 0.0 && period.is_finite(), "invalid period {period}");
+        assert!(
+            period > 0.0 && period.is_finite(),
+            "invalid period {period}"
+        );
         FlappingDelay {
             dist: graph.distances_from(reference),
             t_max,
@@ -88,13 +91,7 @@ impl WavefrontDelay {
     /// # Panics
     ///
     /// Panics if `t_max < 0` or `flip_time < 0`.
-    pub fn new(
-        graph: &Graph,
-        source: NodeId,
-        t_max: f64,
-        flip_time: f64,
-        boundary: u32,
-    ) -> Self {
+    pub fn new(graph: &Graph, source: NodeId, t_max: f64, flip_time: f64, boundary: u32) -> Self {
         assert!(t_max >= 0.0 && t_max.is_finite(), "invalid 𝒯 {t_max}");
         assert!(flip_time >= 0.0, "invalid flip time {flip_time}");
         WavefrontDelay {
@@ -133,8 +130,7 @@ mod tests {
         let mut worst: f64 = 0.0;
         engine.run_until_observed(horizon, |e| {
             for v in 0..n - 1 {
-                let skew =
-                    (e.logical_value(NodeId(v)) - e.logical_value(NodeId(v + 1))).abs();
+                let skew = (e.logical_value(NodeId(v)) - e.logical_value(NodeId(v + 1))).abs();
                 worst = worst.max(skew);
             }
         });

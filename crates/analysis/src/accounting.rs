@@ -22,6 +22,16 @@ pub struct ComplexityReport {
     /// Estimated per-node state bits (Section 6.3): the estimate/`ℓ` pair
     /// per neighbour, the `L^max` offset, and the timer state.
     pub state_bits_per_node: u32,
+    /// Messages delivered to each node (index = node id). Empty when the
+    /// stats predate per-node accounting.
+    pub per_node_deliveries: Vec<u64>,
+    /// Transmissions dropped en route to each node. All-zero under the
+    /// paper's reliable-links model; a lossy delay model makes the drop
+    /// attribution visible here.
+    pub per_node_dropped: Vec<u64>,
+    /// Ratio of the busiest node's delivery count to the mean (1.0 = perfectly
+    /// balanced; grows with degree imbalance, e.g. the hub of a star).
+    pub delivery_imbalance: f64,
 }
 
 impl ComplexityReport {
@@ -42,15 +52,27 @@ impl ComplexityReport {
         assert!(nodes > 0, "no nodes");
         let sends_per_node_per_time = stats.send_events as f64 / nodes as f64 / duration;
         let t_hat = params.t_hat();
+        let delivery_imbalance = if stats.deliveries == 0 || stats.per_node_deliveries.is_empty() {
+            1.0
+        } else {
+            let max = *stats.per_node_deliveries.iter().max().expect("non-empty") as f64;
+            let mean = stats.deliveries as f64 / stats.per_node_deliveries.len() as f64;
+            if mean > 0.0 {
+                max / mean
+            } else {
+                1.0
+            }
+        };
         ComplexityReport {
             sends_per_node_per_time,
             sends_per_node_per_t: sends_per_node_per_time * t_hat,
             predicted_frequency: 1.0 / params.h0(),
-            transmissions_per_node_per_time: stats.transmissions as f64
-                / nodes as f64
-                / duration,
+            transmissions_per_node_per_time: stats.transmissions as f64 / nodes as f64 / duration,
             bits_per_message: gcs_core::DiscreteAOpt::bits_per_message(params),
             state_bits_per_node: Self::state_bits(params, max_degree, diameter),
+            per_node_deliveries: stats.per_node_deliveries.clone(),
+            per_node_dropped: stats.per_node_dropped.clone(),
+            delivery_imbalance,
         }
     }
 
@@ -77,8 +99,7 @@ mod tests {
             send_events: sends,
             transmissions,
             deliveries: transmissions,
-            dropped: 0,
-            per_node_sends: vec![],
+            ..MessageStats::default()
         }
     }
 

@@ -3,7 +3,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
-use gcs_sim::{DelayModel, Engine, Protocol};
+use gcs_sim::{DelayModel, Engine, EngineEvent, EventSink, Protocol};
 
 /// Records every node's logical clock (and its offset from real time) on a
 /// fixed sampling grid, for CSV export.
@@ -62,14 +62,18 @@ impl ClockTrace {
     }
 
     /// Records a row if the sampling grid is due.
-    pub fn observe<P: Protocol, D: DelayModel>(&mut self, engine: &Engine<P, D>) {
-        let t = engine.now();
+    pub fn observe<P: Protocol, D: DelayModel, S: EventSink>(&mut self, engine: &Engine<P, D, S>) {
+        self.observe_clocks(engine.now(), &engine.logical_values());
+    }
+
+    /// Records a clock vector sampled at time `t` (e.g. from an
+    /// [`EventSink::snapshot`] callback) if the sampling grid is due.
+    pub fn observe_clocks(&mut self, t: f64, clocks: &[f64]) {
         if t + 1e-12 < self.next_sample {
             return;
         }
-        let clocks = engine.logical_values();
         debug_assert_eq!(clocks.len(), self.n);
-        self.rows.push((t, clocks));
+        self.rows.push((t, clocks.to_vec()));
         self.next_sample = t + self.interval;
     }
 
@@ -113,6 +117,24 @@ impl ClockTrace {
     pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let mut file = std::fs::File::create(path)?;
         file.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// As a sink, the trace ignores the event stream and samples rows from the
+/// per-event snapshots (decimated to its grid).
+impl EventSink for ClockTrace {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &EngineEvent) {}
+
+    fn wants_snapshots(&self) -> bool {
+        true
+    }
+
+    fn snapshot(&mut self, t: f64, clocks: &[f64], _queue_depth: usize) {
+        self.observe_clocks(t, clocks);
     }
 }
 

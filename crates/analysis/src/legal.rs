@@ -15,7 +15,7 @@
 
 use gcs_core::Params;
 use gcs_graph::Graph;
-use gcs_sim::{DelayModel, Engine, Protocol};
+use gcs_sim::{DelayModel, Engine, EventSink, Protocol};
 
 /// A detected violation of the legal-state invariant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,9 +80,8 @@ impl LegalStateChecker {
         let dist = graph.all_pairs_distances();
         let mut pairs = Vec::new();
         let mut max_level = 0u32;
-        for v in 0..graph.len() {
-            for w in (v + 1)..graph.len() {
-                let d = dist[v][w];
+        for (v, dist_v) in dist.iter().enumerate() {
+            for (w, &d) in dist_v.iter().enumerate().skip(v + 1) {
                 // Smallest s with C_s = c0·σ^{−s} ≤ d, i.e.
                 // s ≥ log_σ(c0/d); no constraint binds pairs further than
                 // C_0 only via s = 0.
@@ -105,9 +104,21 @@ impl LegalStateChecker {
     }
 
     /// Records the engine's state; returns `false` on (the first) violation.
-    pub fn observe<P: Protocol, D: DelayModel>(&mut self, engine: &Engine<P, D>) -> bool {
-        let clocks = engine.logical_values();
-        let t = engine.now();
+    pub fn observe<P: Protocol, D: DelayModel, S: EventSink>(
+        &mut self,
+        engine: &Engine<P, D, S>,
+    ) -> bool {
+        self.observe_clocks(engine.now(), &engine.logical_values())
+    }
+
+    /// Records a clock vector sampled at time `t` (e.g. from an
+    /// [`EventSink::snapshot`] callback); returns `false` on violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via indexing) if `clocks` has fewer entries than the graph
+    /// the checker was built for.
+    pub fn observe_clocks(&mut self, t: f64, clocks: &[f64]) -> bool {
         let mut ok = true;
         for &(v, w, d, s, bound) in &self.pairs {
             let skew = (clocks[v] - clocks[w]).abs();
@@ -118,7 +129,11 @@ impl LegalStateChecker {
             if margin < -self.tolerance {
                 ok = false;
                 if self.first_violation.is_none() {
-                    let (ahead, behind) = if clocks[v] >= clocks[w] { (v, w) } else { (w, v) };
+                    let (ahead, behind) = if clocks[v] >= clocks[w] {
+                        (v, w)
+                    } else {
+                        (w, v)
+                    };
                     self.first_violation = Some(LegalStateViolation {
                         t,
                         v: ahead,
@@ -167,7 +182,11 @@ mod tests {
             .build();
         engine.wake_all_at(0.0);
         engine.run_until_observed(150.0, |e| {
-            assert!(checker.observe(e), "legal state violated: {:?}", checker.first_violation());
+            assert!(
+                checker.observe(e),
+                "legal state violated: {:?}",
+                checker.first_violation()
+            );
         });
         // Margins were actually exercised (finite).
         assert!(checker.margins().iter().all(|m| m.is_finite()));

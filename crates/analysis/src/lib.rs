@@ -12,14 +12,20 @@
 
 mod accounting;
 mod clock_trace;
+pub mod events;
 mod gradient;
 mod legal;
+pub mod metrics;
 mod table;
 mod trace;
+mod watchdog;
 
 pub use accounting::ComplexityReport;
 pub use clock_trace::ClockTrace;
+pub use events::{diff_streams, encode_event, JsonlWriter, StreamDiff};
 pub use gradient::GradientProfile;
 pub use legal::{LegalStateChecker, LegalStateViolation};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSink};
 pub use table::Table;
 pub use trace::{SkewObserver, SkewSample};
+pub use watchdog::{InvariantWatchdog, WatchdogTrip, WatchdogViolation};

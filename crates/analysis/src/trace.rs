@@ -1,7 +1,7 @@
 //! Exact skew observation over an execution.
 
 use gcs_graph::Graph;
-use gcs_sim::{DelayModel, Engine, Protocol};
+use gcs_sim::{DelayModel, Engine, EngineEvent, EventSink, Protocol};
 
 /// One decimated time-series point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,10 +59,7 @@ impl SkewObserver {
     /// Creates an observer for executions on `graph`.
     pub fn new(graph: &Graph) -> Self {
         SkewObserver {
-            edges: graph
-                .edges()
-                .map(|(a, b)| (a.index(), b.index()))
-                .collect(),
+            edges: graph.edges().map(|(a, b)| (a.index(), b.index())).collect(),
             worst_global: 0.0,
             worst_local: 0.0,
             worst_global_at: 0.0,
@@ -87,12 +84,17 @@ impl SkewObserver {
     }
 
     /// Records the engine's current state.
-    pub fn observe<P: Protocol, D: DelayModel>(&mut self, engine: &Engine<P, D>) {
+    pub fn observe<P: Protocol, D: DelayModel, S: EventSink>(&mut self, engine: &Engine<P, D, S>) {
+        self.observe_clocks(engine.now(), &engine.logical_values());
+    }
+
+    /// Records a clock vector sampled at time `t` (e.g. from an
+    /// [`EventSink::snapshot`] callback).
+    pub fn observe_clocks(&mut self, t: f64, clocks: &[f64]) {
         self.observations += 1;
-        let clocks = engine.logical_values();
         let mut max = f64::MIN;
         let mut min = f64::MAX;
-        for &c in &clocks {
+        for &c in clocks {
             max = max.max(c);
             min = min.min(c);
         }
@@ -101,7 +103,6 @@ impl SkewObserver {
         for &(a, b) in &self.edges {
             local = local.max((clocks[a] - clocks[b]).abs());
         }
-        let t = engine.now();
         if global > self.worst_global {
             self.worst_global = global;
             self.worst_global_at = t;
@@ -146,6 +147,24 @@ impl SkewObserver {
     /// Number of observations recorded.
     pub fn observations(&self) -> u64 {
         self.observations
+    }
+}
+
+/// As a sink, the observer ignores the event stream and samples exact skew
+/// from the per-event snapshots.
+impl EventSink for SkewObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &EngineEvent) {}
+
+    fn wants_snapshots(&self) -> bool {
+        true
+    }
+
+    fn snapshot(&mut self, t: f64, clocks: &[f64], _queue_depth: usize) {
+        self.observe_clocks(t, clocks);
     }
 }
 

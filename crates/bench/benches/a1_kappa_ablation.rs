@@ -2,8 +2,8 @@
 //! below `2((1+ε̂)(1+μ)𝒯̂ + H̄₀)` and watch the guarantees (scaled
 //! accordingly) and the legal-state invariant give way.
 
-use gcs_analysis::{LegalStateChecker, SkewObserver};
 use gcs_analysis::Table;
+use gcs_analysis::{LegalStateChecker, SkewObserver};
 use gcs_bench::banner;
 use gcs_core::{AOpt, Params};
 use gcs_graph::{topology, NodeId};

@@ -56,7 +56,10 @@ fn main() {
         let faithful = run(false);
         let frozen = run(true);
         let bound = params.local_skew_bound(d as u32);
-        assert!(faithful <= bound + 1e-9, "faithful algorithm broke its bound");
+        assert!(
+            faithful <= bound + 1e-9,
+            "faithful algorithm broke its bound"
+        );
         table.row(vec![
             format!("{h0_factor}"),
             format!("{faithful:.4}"),

@@ -101,7 +101,10 @@ fn main() {
         "ceiling per hop",
     ]);
     for &dd in &[1usize, 2, 4, 8, 16, 32] {
-        assert!(worst[dd] <= ceiling(dd) + 1e-9, "ceiling violated at d = {dd}");
+        assert!(
+            worst[dd] <= ceiling(dd) + 1e-9,
+            "ceiling violated at d = {dd}"
+        );
         table.row(vec![
             dd.to_string(),
             format!("{:.4}", worst[dd]),

@@ -25,7 +25,12 @@ fn main() {
     );
 
     let mut table = Table::new(vec![
-        "topology", "n", "D", "measured skew", "bound 𝒢", "used %",
+        "topology",
+        "n",
+        "D",
+        "measured skew",
+        "bound 𝒢",
+        "used %",
     ]);
     let cases: Vec<(&str, Graph)> = vec![
         ("path", topology::path(9)),

@@ -2,12 +2,12 @@
 //! `κ(⌈log_σ(2𝒢/κ)⌉ + ½)`, i.e. it grows *logarithmically* with the
 //! diameter while the global skew grows linearly.
 
+use gcs_adversary::WavefrontDelay;
 use gcs_analysis::Table;
 use gcs_bench::{banner, f4, run_aopt};
 use gcs_core::Params;
 use gcs_graph::{topology, NodeId};
 use gcs_sim::rates;
-use gcs_adversary::WavefrontDelay;
 use gcs_time::DriftBounds;
 
 fn main() {
@@ -40,7 +40,10 @@ fn main() {
         let outcome = run_aopt(graph, params, delay, schedules, flip + 20.0);
         let l_bound = params.local_skew_bound(d as u32);
         let g_bound = params.global_skew_bound(d as u32);
-        assert!(outcome.local <= l_bound + 1e-9, "Thm 5.10 violated at D={d}");
+        assert!(
+            outcome.local <= l_bound + 1e-9,
+            "Thm 5.10 violated at D={d}"
+        );
         table.row(vec![
             d.to_string(),
             f4(outcome.local),

@@ -23,7 +23,13 @@ fn main() {
     println!("fixed D = {d}, ε̂ = {eps}, 𝒯̂ = {t_max}\n");
 
     let mut table = Table::new(vec![
-        "σ", "μ", "β", "κ", "levels", "local bound", "measured local",
+        "σ",
+        "μ",
+        "β",
+        "κ",
+        "levels",
+        "local bound",
+        "measured local",
     ]);
     for sigma in [2u32, 4, 8, 16, 64, 256] {
         let params = Params::with_sigma(eps, t_max, sigma).unwrap();

@@ -40,8 +40,7 @@ fn main() {
         let schedules = rates::split(n, drift, |v| dist[v] < (d / 2) as u32);
         let delay = DirectionalDelay::new(&graph, NodeId(0), 0.0, t_max);
         let outcome = run_aopt(graph, params, delay, schedules, horizon);
-        let per_node_per_t =
-            outcome.stats.send_events as f64 / n as f64 / horizon * t_max;
+        let per_node_per_t = outcome.stats.send_events as f64 / n as f64 / horizon * t_max;
         assert!(outcome.global <= params.global_skew_bound(d as u32) + 1e-9);
         table.row(vec![
             format!("{h0_factor}"),

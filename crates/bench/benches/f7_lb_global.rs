@@ -16,7 +16,8 @@ fn main() {
     let eps = 0.05;
     let t = 0.5;
 
-    for (label, t_hat) in [("loose 𝒯̂ = 2𝒯 (ϱ≈ε)", 1.0), ("tight 𝒯̂ = 𝒯 (ϱ=−ε)", 0.5)] {
+    for (label, t_hat) in [("loose 𝒯̂ = 2𝒯 (ϱ≈ε)", 1.0), ("tight 𝒯̂ = 𝒯 (ϱ=−ε)", 0.5)]
+    {
         println!("--- {label} ---");
         let params = Params::recommended(eps, t_hat).unwrap();
         let mut table = Table::new(vec![
@@ -29,10 +30,12 @@ fn main() {
         ]);
         for d in [4usize, 8, 16, 32] {
             let lb = GlobalLowerBound::new(topology::path(d + 1), eps, eps, t, t_hat, 0.01);
-            let (reports, ok) =
-                lb.verify_indistinguishable(|| vec![AOpt::new(params); d + 1]);
+            let (reports, ok) = lb.verify_indistinguishable(|| vec![AOpt::new(params); d + 1]);
             let forced = reports[2].endpoint_skew;
-            assert!(forced >= 0.85 * lb.predicted_skew(), "floor missed at D={d}");
+            assert!(
+                forced >= 0.85 * lb.predicted_skew(),
+                "floor missed at D={d}"
+            );
             assert!(ok, "executions distinguishable at D={d}");
             let g = params.global_skew_bound(d as u32);
             table.row(vec![

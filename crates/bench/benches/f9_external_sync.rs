@@ -41,10 +41,10 @@ fn main() {
     let warmup = horizon / 2.0;
     engine.run_until(warmup);
     engine.run_until_observed(horizon, |e| {
-        for v in 0..n {
+        for (v, lag) in worst_lag.iter_mut().enumerate() {
             let l = e.logical_value(NodeId(v));
             worst_ahead = worst_ahead.max(l - e.now());
-            worst_lag[v] = worst_lag[v].max(e.now() - l);
+            *lag = lag.max(e.now() - l);
         }
     });
     assert!(worst_ahead <= 1e-9, "a clock overtook real time");
@@ -62,7 +62,10 @@ fn main() {
         ]);
     }
     println!("{table}");
-    println!("worst 'ahead of real time': {:.2e} (never positive)", worst_ahead.max(0.0));
+    println!(
+        "worst 'ahead of real time': {:.2e} (never positive)",
+        worst_ahead.max(0.0)
+    );
     println!("the lag column grows ≈ linearly in the distance, as the modified");
     println!("envelope of §8.5 predicts (a node d hops away cannot know real time");
     println!("more accurately than d·𝒯).");

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmark: cost of the observability layer.
+//!
+//! The engine is generic over its [`gcs_sim::EventSink`], and the default
+//! [`gcs_sim::NullSink`] reports `enabled() == false`, so every emission
+//! site monomorphizes to a no-op. This benchmark pins that promise down:
+//! the same `A^opt` run with the default sink, an explicit `NullSink`, a
+//! counting metrics sink, and a full JSONL encoder — the first two must be
+//! indistinguishable (≤ ~1% apart), and the figure for the heavier sinks
+//! tells you what `--events`/`--metrics` actually costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gcs_analysis::{JsonlWriter, MetricsSink};
+use gcs_core::{AOpt, Params};
+use gcs_graph::topology;
+use gcs_sim::{Engine, EventSink, NullSink, UniformDelay};
+
+const N: usize = 32;
+const HORIZON: f64 = 100.0;
+
+fn make_engine<S: EventSink>(sink: S) -> Engine<AOpt, UniformDelay, S> {
+    let params = Params::recommended(0.02, 0.25).unwrap();
+    let graph = topology::path(N);
+    let mut engine = Engine::builder(graph)
+        .protocols(vec![AOpt::new(params); N])
+        .delay_model(UniformDelay::new(0.25, 3))
+        .event_sink(sink)
+        .build();
+    engine.wake_all_at(0.0);
+    engine
+}
+
+fn observer_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer_overhead");
+
+    // Baseline: the default engine type, no `.event_sink(..)` call at all.
+    group.bench_function("baseline_default", |b| {
+        let params = Params::recommended(0.02, 0.25).unwrap();
+        b.iter_batched(
+            || {
+                let graph = topology::path(N);
+                let mut engine = Engine::builder(graph)
+                    .protocols(vec![AOpt::new(params); N])
+                    .delay_model(UniformDelay::new(0.25, 3))
+                    .build();
+                engine.wake_all_at(0.0);
+                engine
+            },
+            |mut engine| {
+                engine.run_until(HORIZON);
+                engine.message_stats().deliveries
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Explicit NullSink through the generic path — must match the baseline.
+    group.bench_function("null_sink", |b| {
+        b.iter_batched(
+            || make_engine(NullSink),
+            |mut engine| {
+                engine.run_until(HORIZON);
+                engine.message_stats().deliveries
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Counting sink: counters + histograms on every event and snapshot.
+    group.bench_function("metrics_sink", |b| {
+        b.iter_batched(
+            || make_engine(MetricsSink::new()),
+            |mut engine| {
+                engine.run_until(HORIZON);
+                engine.message_stats().deliveries
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Full JSONL encoding into an in-memory buffer (no disk I/O).
+    group.bench_function("jsonl_writer", |b| {
+        b.iter_batched(
+            || make_engine(JsonlWriter::new(Vec::with_capacity(1 << 20))),
+            |mut engine| {
+                engine.run_until(HORIZON);
+                engine.into_sink().finish().map(|v| v.len()).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, observer_overhead);
+criterion_main!(benches);

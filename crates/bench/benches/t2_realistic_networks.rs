@@ -47,13 +47,7 @@ fn main() {
         let n = graph.len();
         let dist = graph.distances_from(NodeId(0));
         let schedules = rates::split(n, drift, |v| dist[v] < (sim_d / 2) as u32);
-        let outcome = run_aopt(
-            graph,
-            params,
-            UniformDelay::new(t_max, 11),
-            schedules,
-            60.0,
-        );
+        let outcome = run_aopt(graph, params, UniformDelay::new(t_max, 11), schedules, 60.0);
         table.row(vec![
             format!("{eps:.0e}"),
             d.to_string(),

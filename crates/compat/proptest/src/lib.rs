@@ -1,0 +1,331 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Supports what this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]` header),
+//! * numeric range strategies (`0usize..40`, `0.0f64..1.0`, `0.0..=1.0`),
+//! * tuple strategies, [`collection::vec`](crate::collection::vec),
+//!   [`Just`], and [`Strategy::prop_map`],
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! file: each case derives deterministically from the test name and case
+//! index, so a failure always reproduces under `cargo test` and the
+//! panic message identifies the failing case's generated inputs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Leaner than upstream's 256: these tests run in CI on every push.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of an associated type.
+///
+/// This subset drops shrinking: a strategy is just a seeded generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+    (A, B, C, D, E, F, G, H, I);
+    (A, B, C, D, E, F, G, H, I, J);
+    (A, B, C, D, E, F, G, H, I, J, K);
+    (A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// from `len` on each case.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose lengths fall in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `proptest::prelude::prop`.
+pub mod strategy_ns {
+    pub use crate::collection;
+}
+
+/// Runs one property over `cases` generated inputs.
+///
+/// Not part of the public API surface tests should use directly; the
+/// [`proptest!`] macro calls it.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut body: impl FnMut(S::Value),
+) {
+    // Deterministic per-test seed: FNV-1a over the property name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..config.cases as u64 {
+        let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(seed.wrapping_add(case));
+        let value = strategy.generate(&mut rng);
+        let description = format!("{value:?}");
+        let guard = CaseGuard {
+            name,
+            case,
+            description,
+        };
+        body(value);
+        std::mem::forget(guard);
+    }
+}
+
+/// Prints the failing case on unwind so failures are reproducible by eye.
+struct CaseGuard<'a> {
+    name: &'a str,
+    case: u64,
+    description: String,
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        eprintln!(
+            "proptest: property `{}` failed at case #{} with input {}",
+            self.name, self.case, self.description
+        );
+    }
+}
+
+/// The property-test entry point macro.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn holds(x in 0u64..100, (a, b) in (0.0f64..1.0, 0.0f64..1.0)) {
+///         prop_assert!(x < 100);
+///         prop_assert_eq!(a.min(b), b.min(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let strategy = ( $($strat,)+ );
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                &strategy,
+                |( $($pat,)+ )| { $body },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Commonly imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+
+    /// Mirror of upstream's `prop` namespace (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0f64..1.0, 1.0f64..2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(x in 1usize..10, (a, b) in pair()) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < b);
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0i64..5, 2..6).prop_map(|v| v.len())) {
+            prop_assert!((2..6).contains(&v));
+        }
+
+        #[test]
+        fn just_yields_its_value(x in Just(41)) {
+            prop_assert_eq!(x + 1, 42);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::run_property("det", &ProptestConfig::with_cases(10), &(0u64..1000), |v| {
+            first.push(v)
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::run_property("det", &ProptestConfig::with_cases(10), &(0u64..1000), |v| {
+            second.push(v)
+        });
+        assert_eq!(first, second);
+        assert!(first.iter().any(|&v| v != first[0]));
+    }
+}

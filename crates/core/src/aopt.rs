@@ -281,13 +281,10 @@ impl Protocol for AOpt {
             self.schedule_send(ctx);
         }
         // Lines 5–7: adopt a larger (hence more recent) clock value of `w`.
-        let entry = self
-            .estimates
-            .entry(from)
-            .or_insert(NeighborEstimate {
-                offset: f64::NEG_INFINITY,
-                ell: f64::NEG_INFINITY,
-            });
+        let entry = self.estimates.entry(from).or_insert(NeighborEstimate {
+            offset: f64::NEG_INFINITY,
+            ell: f64::NEG_INFINITY,
+        });
         if msg.logical > entry.ell {
             entry.ell = msg.logical;
             entry.offset = msg.logical - hw;
@@ -316,6 +313,10 @@ impl Protocol for AOpt {
 
     fn logical_value(&self, hw: f64) -> f64 {
         self.logical.value_at_hw(hw)
+    }
+
+    fn rate_multiplier(&self) -> f64 {
+        self.multiplier()
     }
 }
 
@@ -385,11 +386,8 @@ mod tests {
     fn respects_global_skew_bound_under_adversity() {
         let p = params();
         let g = topology::path(8);
-        let schedules = gcs_sim::rates::split(
-            8,
-            gcs_time::DriftBounds::new(0.01).unwrap(),
-            |v| v < 4,
-        );
+        let schedules =
+            gcs_sim::rates::split(8, gcs_time::DriftBounds::new(0.01).unwrap(), |v| v < 4);
         let delay = DirectionalDelay::new(&g, NodeId(0), 0.1, 0.0);
         let mut engine = Engine::builder(g)
             .protocols(vec![AOpt::new(p); 8])
@@ -427,9 +425,9 @@ mod tests {
         engine.wake(NodeId(0), 0.0);
         let mut checkers: Vec<Option<gcs_time::EnvelopeChecker>> = vec![None; 7];
         engine.run_until_observed(100.0, |e| {
-            for v in 0..7 {
+            for (v, slot) in checkers.iter_mut().enumerate() {
                 if e.is_started(NodeId(v)) {
-                    let checker = checkers[v].get_or_insert_with(|| {
+                    let checker = slot.get_or_insert_with(|| {
                         gcs_time::EnvelopeChecker::new(drift, e.now(), 1e-9)
                     });
                     assert!(
@@ -559,8 +557,7 @@ mod tests {
         });
         assert!(boosted, "slow node never engaged fast mode");
         // And the final skew is small despite the drift.
-        let skew =
-            (engine.logical_value(NodeId(0)) - engine.logical_value(NodeId(1))).abs();
+        let skew = (engine.logical_value(NodeId(0)) - engine.logical_value(NodeId(1))).abs();
         assert!(skew <= p.local_skew_bound(1) + 1e-9);
     }
 }

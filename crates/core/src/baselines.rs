@@ -220,6 +220,14 @@ impl Protocol for MidpointAlgorithm {
     fn logical_value(&self, hw: f64) -> f64 {
         self.logical.value_at_hw(hw)
     }
+
+    fn rate_multiplier(&self) -> f64 {
+        if self.logical.is_started() {
+            self.logical.multiplier()
+        } else {
+            1.0
+        }
+    }
 }
 
 /// The do-nothing control: `L_v = H_v`.
@@ -276,14 +284,14 @@ mod tests {
             .rate_schedules(schedules)
             .build();
         engine.wake_all_at(0.0);
-        let mut last = vec![0.0f64; 5];
+        let mut last = [0.0f64; 5];
         engine.run_until_observed(60.0, |e| {
-            for v in 0..5 {
+            for (v, prev) in last.iter_mut().enumerate() {
                 let l = e.logical_value(NodeId(v));
-                assert!(l >= last[v] - 1e-12, "clock ran backwards at {v}");
+                assert!(l >= *prev - 1e-12, "clock ran backwards at {v}");
                 // Envelope: never above (1 + ε)t.
                 assert!(l <= 1.05 * e.now() + 1e-9);
-                last[v] = l;
+                *prev = l;
             }
         });
     }
@@ -308,8 +316,7 @@ mod tests {
         let mut worst_local: f64 = 0.0;
         engine.run_until_observed(60.0, |e| {
             for v in 0..n - 1 {
-                let skew =
-                    (e.logical_value(NodeId(v)) - e.logical_value(NodeId(v + 1))).abs();
+                let skew = (e.logical_value(NodeId(v)) - e.logical_value(NodeId(v + 1))).abs();
                 worst_local = worst_local.max(skew);
             }
         });

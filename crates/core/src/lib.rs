@@ -52,6 +52,6 @@ pub use aopt::{AOpt, AOptMsg};
 pub use baselines::{MaxAlgorithm, MaxMsg, MidpointAlgorithm, MidpointMsg, NoSync};
 pub use params::{ParamError, Params};
 pub use variants::{
-    AdaptiveAOpt, AdaptiveMsg, AOptJump, MsgKind, DiscreteAOpt, DiscreteMsg, EnvelopeAOpt, ExternalAOpt, ExternalMsg, MinGapAOpt,
-    OffsetAOpt, PiggybackAOpt, PiggybackMsg,
+    AOptJump, AdaptiveAOpt, AdaptiveMsg, DiscreteAOpt, DiscreteMsg, EnvelopeAOpt, ExternalAOpt,
+    ExternalMsg, MinGapAOpt, MsgKind, OffsetAOpt, PiggybackAOpt, PiggybackMsg,
 };

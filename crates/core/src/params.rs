@@ -112,7 +112,13 @@ impl Params {
     ///
     /// Returns a [`ParamError`] if any constraint of Eqs. (4)–(6) is
     /// violated (see the module documentation).
-    pub fn new(epsilon_hat: f64, t_hat: f64, h0: f64, mu: f64, kappa: f64) -> Result<Self, ParamError> {
+    pub fn new(
+        epsilon_hat: f64,
+        t_hat: f64,
+        h0: f64,
+        mu: f64,
+        kappa: f64,
+    ) -> Result<Self, ParamError> {
         if !(epsilon_hat.is_finite() && epsilon_hat > 0.0 && epsilon_hat < 1.0) {
             return Err(ParamError::EpsilonOutOfRange {
                 epsilon: epsilon_hat,
@@ -299,7 +305,10 @@ impl Params {
     ///
     /// Panics unless `factor` is positive and finite.
     pub fn with_kappa_factor_unchecked(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid factor {factor}"
+        );
         self.kappa *= factor;
         self
     }

@@ -107,8 +107,8 @@ impl AdaptiveAOpt {
     ///
     /// Panics if the initial parameters are invalid.
     pub fn new(epsilon_hat: f64, t_hat_initial: f64) -> Self {
-        let params = Params::recommended(epsilon_hat, t_hat_initial)
-            .expect("invalid initial parameters");
+        let params =
+            Params::recommended(epsilon_hat, t_hat_initial).expect("invalid initial parameters");
         AdaptiveAOpt {
             epsilon_hat,
             params,
@@ -162,8 +162,8 @@ impl AdaptiveAOpt {
     }
 
     fn rederive(&mut self, new_t: f64) {
-        self.params = Params::recommended(self.epsilon_hat, new_t)
-            .expect("adapted parameters remain valid");
+        self.params =
+            Params::recommended(self.epsilon_hat, new_t).expect("adapted parameters remain valid");
         self.adaptations += 1;
     }
 
@@ -316,6 +316,14 @@ impl Protocol for AdaptiveAOpt {
     fn logical_value(&self, hw: f64) -> f64 {
         self.logical.value_at_hw(hw)
     }
+
+    fn rate_multiplier(&self) -> f64 {
+        if self.logical.is_started() {
+            self.logical.multiplier()
+        } else {
+            1.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -384,10 +392,7 @@ mod tests {
         let t_hats: Vec<f64> = (0..n).map(|v| engine.protocol(NodeId(v)).t_hat()).collect();
         let max = t_hats.iter().cloned().fold(f64::MIN, f64::max);
         let min = t_hats.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            max / min <= 2.0 + 1e-9,
-            "estimates diverged: {t_hats:?}"
-        );
+        assert!(max / min <= 2.0 + 1e-9, "estimates diverged: {t_hats:?}");
     }
 
     #[test]

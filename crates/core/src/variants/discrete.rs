@@ -124,8 +124,8 @@ impl DiscreteAOpt {
     /// Maximum `dmax` units per broadcast:
     /// `⌈(1 + ε̂)(1 + μ)/(1 − ε̂)⌉`.
     pub fn dmax_cap(params: &Params) -> u32 {
-        ((1.0 + params.epsilon_hat()) * (1.0 + params.mu()) / (1.0 - params.epsilon_hat()))
-            .ceil() as u32
+        ((1.0 + params.epsilon_hat()) * (1.0 + params.mu()) / (1.0 - params.epsilon_hat())).ceil()
+            as u32
     }
 
     /// Bits needed per message: `⌈log₂(dl_cap + 1)⌉ + ⌈log₂(dmax_cap + 1)⌉`.
@@ -265,6 +265,14 @@ impl Protocol for DiscreteAOpt {
     fn logical_value(&self, hw: f64) -> f64 {
         self.logical.value_at_hw(hw)
     }
+
+    fn rate_multiplier(&self) -> f64 {
+        if self.logical.is_started() {
+            self.logical.multiplier()
+        } else {
+            1.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -361,8 +369,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "FIFO")]
-    fn out_of_order_delivery_is_rejected()
-    {
+    fn out_of_order_delivery_is_rejected() {
         // A delay model that reverses the order of the first two messages.
         use gcs_sim::{DelayCtx, Delivery, FnDelay};
         let mut count = 0;

@@ -265,6 +265,14 @@ impl Protocol for EnvelopeAOpt {
     fn logical_value(&self, hw: f64) -> f64 {
         self.logical.value_at_hw(hw)
     }
+
+    fn rate_multiplier(&self) -> f64 {
+        if self.logical.is_started() {
+            self.logical.multiplier()
+        } else {
+            1.0
+        }
+    }
 }
 
 #[cfg(test)]

@@ -266,6 +266,14 @@ impl Protocol for ExternalAOpt {
     fn logical_value(&self, hw: f64) -> f64 {
         self.logical.value_at_hw(hw)
     }
+
+    fn rate_multiplier(&self) -> f64 {
+        if self.logical.is_started() {
+            self.logical.multiplier()
+        } else {
+            1.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -331,12 +339,12 @@ mod tests {
     #[test]
     fn follower_clocks_are_monotone() {
         let mut engine = network(4, 0.05, 9);
-        let mut last = vec![0.0f64; 4];
+        let mut last = [0.0f64; 4];
         engine.run_until_observed(150.0, |e| {
-            for v in 0..4 {
+            for (v, prev) in last.iter_mut().enumerate() {
                 let l = e.logical_value(NodeId(v));
-                assert!(l >= last[v] - 1e-12, "clock ran backwards at node {v}");
-                last[v] = l;
+                assert!(l >= *prev - 1e-12, "clock ran backwards at node {v}");
+                *prev = l;
             }
         });
     }

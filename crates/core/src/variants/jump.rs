@@ -62,6 +62,10 @@ impl Protocol for AOptJump {
     fn logical_value(&self, hw: f64) -> f64 {
         self.inner.logical_value(hw)
     }
+
+    fn rate_multiplier(&self) -> f64 {
+        self.inner.rate_multiplier()
+    }
 }
 
 #[cfg(test)]

@@ -160,13 +160,21 @@ impl Protocol for MinGapAOpt {
     fn logical_value(&self, hw: f64) -> f64 {
         self.logical.value_at_hw(hw)
     }
+
+    fn rate_multiplier(&self) -> f64 {
+        if self.logical.is_started() {
+            self.logical.multiplier()
+        } else {
+            1.0
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gcs_graph::topology;
-    use gcs_sim::{ConstantDelay, Engine, FnDelay, DelayCtx, Delivery};
+    use gcs_sim::{ConstantDelay, DelayCtx, Delivery, Engine, FnDelay};
     use gcs_time::DriftBounds;
 
     fn params() -> Params {
@@ -195,10 +203,7 @@ mod tests {
             let hw = engine.hardware_value(NodeId(v));
             let cap = (hw / p.h0()).floor() as u64 + 2;
             let sends = engine.protocol(NodeId(v)).sends();
-            assert!(
-                sends <= cap,
-                "node {v} sent {sends} times, hard cap {cap}"
-            );
+            assert!(sends <= cap, "node {v} sent {sends} times, hard cap {cap}");
         }
     }
 

@@ -6,8 +6,8 @@ mod envelope;
 mod external;
 mod jump;
 mod min_gap;
-mod piggyback;
 mod offset;
+mod piggyback;
 
 pub use adaptive::{AdaptiveAOpt, AdaptiveMsg, MsgKind};
 pub use discrete::{DiscreteAOpt, DiscreteMsg};
@@ -15,5 +15,5 @@ pub use envelope::EnvelopeAOpt;
 pub use external::{ExternalAOpt, ExternalMsg};
 pub use jump::AOptJump;
 pub use min_gap::MinGapAOpt;
-pub use piggyback::{PiggybackAOpt, PiggybackMsg};
 pub use offset::OffsetAOpt;
+pub use piggyback::{PiggybackAOpt, PiggybackMsg};

@@ -8,15 +8,11 @@ use proptest::prelude::*;
 /// Λ↑ and Λ↓ as they can actually occur: both are maxima over the same
 /// per-neighbour differences, so Λ↑ + Λ↓ ≥ 0.
 fn lambda_pair() -> impl Strategy<Value = (f64, f64, f64)> {
-    (
-        prop::collection::vec(-50.0f64..50.0, 1..8),
-        0.1f64..10.0,
-    )
-        .prop_map(|(diffs, kappa)| {
-            let up = diffs.iter().cloned().fold(f64::MIN, f64::max);
-            let down = diffs.iter().map(|d| -d).fold(f64::MIN, f64::max);
-            (up, down, kappa)
-        })
+    (prop::collection::vec(-50.0f64..50.0, 1..8), 0.1f64..10.0).prop_map(|(diffs, kappa)| {
+        let up = diffs.iter().cloned().fold(f64::MIN, f64::max);
+        let down = diffs.iter().map(|d| -d).fold(f64::MIN, f64::max);
+        (up, down, kappa)
+    })
 }
 
 proptest! {

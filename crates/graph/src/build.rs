@@ -215,7 +215,10 @@ impl Graph {
 
     /// The diameter `D` of the graph.
     pub fn diameter(&self) -> u32 {
-        self.nodes().map(|v| self.eccentricity(v)).max().unwrap_or(0)
+        self.nodes()
+            .map(|v| self.eccentricity(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// One pair of nodes realizing the diameter.
@@ -357,9 +360,9 @@ mod tests {
     fn all_pairs_is_symmetric() {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let d = g.all_pairs_distances();
-        for u in 0..5 {
-            for v in 0..5 {
-                assert_eq!(d[u][v], d[v][u]);
+        for (u, row) in d.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, d[v][u]);
             }
         }
     }

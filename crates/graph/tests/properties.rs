@@ -30,12 +30,12 @@ proptest! {
     fn distance_is_a_metric(n in 2usize..30, p in 0.05f64..0.4, seed in 0u64..200) {
         let g = topology::erdos_renyi(n, p, seed);
         let d = g.all_pairs_distances();
-        for u in 0..n {
-            prop_assert_eq!(d[u][u], 0);
-            for v in 0..n {
-                prop_assert_eq!(d[u][v], d[v][u]);
+        for (u, row) in d.iter().enumerate() {
+            prop_assert_eq!(row[u], 0);
+            for (v, &duv) in row.iter().enumerate() {
+                prop_assert_eq!(duv, d[v][u]);
                 if u != v {
-                    prop_assert!(d[u][v] >= 1);
+                    prop_assert!(duv >= 1);
                 }
             }
         }
@@ -68,9 +68,9 @@ proptest! {
         let g = topology::erdos_renyi(n, p, seed);
         let diameter = g.diameter();
         let d = g.all_pairs_distances();
-        for u in 0..n {
-            for v in 0..n {
-                prop_assert!(d[u][v] <= diameter);
+        for row in &d {
+            for &duv in row {
+                prop_assert!(duv <= diameter);
             }
         }
     }

@@ -156,7 +156,10 @@ impl BimodalDelay {
     /// Panics if `t_max < 0` or `p_fast` is not a probability.
     pub fn new(t_max: f64, p_fast: f64, seed: u64) -> Self {
         assert!(t_max.is_finite() && t_max >= 0.0, "invalid 𝒯 {t_max}");
-        assert!((0.0..=1.0).contains(&p_fast), "invalid probability {p_fast}");
+        assert!(
+            (0.0..=1.0).contains(&p_fast),
+            "invalid probability {p_fast}"
+        );
         use rand::SeedableRng;
         BimodalDelay {
             t_max,
@@ -199,7 +202,10 @@ impl DirectionalDelay {
     ///
     /// Panics if either delay is negative or non-finite.
     pub fn new(graph: &Graph, reference: NodeId, toward: f64, away: f64) -> Self {
-        assert!(toward.is_finite() && toward >= 0.0, "invalid delay {toward}");
+        assert!(
+            toward.is_finite() && toward >= 0.0,
+            "invalid delay {toward}"
+        );
         assert!(away.is_finite() && away >= 0.0, "invalid delay {away}");
         DirectionalDelay {
             dist: graph.distances_from(reference),
@@ -408,7 +414,10 @@ mod tests {
     #[test]
     fn fn_delay_invokes_closure() {
         let g = topology::path(2);
-        let mut m = FnDelay::new(|c: &DelayCtx<'_>| Delivery::AtReceiverHw(c.src_hw + 1.0), Some(1.0));
+        let mut m = FnDelay::new(
+            |c: &DelayCtx<'_>| Delivery::AtReceiverHw(c.src_hw + 1.0),
+            Some(1.0),
+        );
         assert_eq!(m.delivery(&ctx(&g, 0, 1)), Delivery::AtReceiverHw(2.0));
         assert_eq!(m.uncertainty(), Some(1.0));
     }

@@ -8,6 +8,7 @@ use gcs_time::{HardwareClock, RateSchedule};
 
 use crate::delay::{DelayCtx, DelayModel, Delivery};
 use crate::protocol::{Action, Context, Protocol, TimerId};
+use crate::sink::{EngineEvent, EventSink, NullSink};
 
 /// Counters over the messages exchanged in an execution.
 ///
@@ -15,7 +16,7 @@ use crate::protocol::{Action, Context, Protocol, TimerId};
 /// and bit complexity accounting — a node sends identical information to all
 /// neighbours at a send event, its Section 6.2); `transmissions` counts
 /// per-edge message copies; `deliveries` counts received messages.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MessageStats {
     /// Number of send events (one per `send`/`send_all` action).
     pub send_events: u64,
@@ -28,6 +29,11 @@ pub struct MessageStats {
     pub dropped: u64,
     /// Send events per node.
     pub per_node_sends: Vec<u64>,
+    /// Messages delivered to each node.
+    pub per_node_deliveries: Vec<u64>,
+    /// Transmissions dropped en route to each node (attributed to the
+    /// intended receiver).
+    pub per_node_dropped: Vec<u64>,
 }
 
 /// A pending hardware-value item: fires when the owning node's hardware
@@ -99,6 +105,9 @@ struct NodeState<P: Protocol> {
     /// Hardware-targeted deliveries addressed to this node before it was
     /// initialized; activated at start time.
     prestart: Vec<PendingHw<P::Msg>>,
+    /// The protocol's logical rate multiplier after its last handler ran
+    /// (for change detection when a sink is installed).
+    last_multiplier: f64,
 }
 
 /// Builder for [`Engine`].
@@ -107,14 +116,15 @@ struct NodeState<P: Protocol> {
 ///
 /// See the crate-level example.
 #[derive(Debug)]
-pub struct EngineBuilder<P: Protocol, D: DelayModel> {
+pub struct EngineBuilder<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
     graph: Graph,
     protocols: Option<Vec<P>>,
     delay: Option<D>,
     schedules: Option<Vec<RateSchedule>>,
+    sink: S,
 }
 
-impl<P: Protocol, D: DelayModel> EngineBuilder<P, D> {
+impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
     /// Sets the per-node protocol instances (one per node, in id order).
     pub fn protocols(mut self, protocols: Vec<P>) -> Self {
         self.protocols = Some(protocols);
@@ -133,13 +143,26 @@ impl<P: Protocol, D: DelayModel> EngineBuilder<P, D> {
         self
     }
 
+    /// Installs an [`EventSink`] that receives every engine transition (and
+    /// per-event state snapshots if it asks for them). Defaults to
+    /// [`NullSink`], which compiles to the uninstrumented engine.
+    pub fn event_sink<S2: EventSink>(self, sink: S2) -> EngineBuilder<P, D, S2> {
+        EngineBuilder {
+            graph: self.graph,
+            protocols: self.protocols,
+            delay: self.delay,
+            schedules: self.schedules,
+            sink,
+        }
+    }
+
     /// Builds the engine.
     ///
     /// # Panics
     ///
     /// Panics if protocols or the delay model are missing, or if the
     /// protocol/schedule counts do not match the node count.
-    pub fn build(self) -> Engine<P, D> {
+    pub fn build(self) -> Engine<P, D, S> {
         let n = self.graph.len();
         let protocols = self.protocols.expect("protocols not set");
         assert_eq!(protocols.len(), n, "need one protocol per node");
@@ -151,13 +174,17 @@ impl<P: Protocol, D: DelayModel> EngineBuilder<P, D> {
         let nodes = protocols
             .into_iter()
             .zip(schedules)
-            .map(|(proto, schedule)| NodeState {
-                proto,
-                hw: HardwareClock::new(),
-                schedule,
-                pending: HashMap::new(),
-                timer_slots: HashMap::new(),
-                prestart: Vec::new(),
+            .map(|(proto, schedule)| {
+                let last_multiplier = proto.rate_multiplier();
+                NodeState {
+                    proto,
+                    hw: HardwareClock::new(),
+                    schedule,
+                    pending: HashMap::new(),
+                    timer_slots: HashMap::new(),
+                    prestart: Vec::new(),
+                    last_multiplier,
+                }
             })
             .collect();
         Engine {
@@ -170,8 +197,12 @@ impl<P: Protocol, D: DelayModel> EngineBuilder<P, D> {
             nodes,
             stats: MessageStats {
                 per_node_sends: vec![0; n],
+                per_node_deliveries: vec![0; n],
+                per_node_dropped: vec![0; n],
                 ..MessageStats::default()
             },
+            sink: self.sink,
+            clock_buf: Vec::new(),
         }
     }
 }
@@ -184,8 +215,12 @@ impl<P: Protocol, D: DelayModel> EngineBuilder<P, D> {
 /// all message delays. It is `Clone`, so a driver can snapshot the world,
 /// run ahead to inspect the future, rewind, and continue differently — the
 /// *extended execution* pattern of the paper's lower-bound proofs.
+///
+/// The third type parameter is an [`EventSink`] receiving every transition;
+/// it defaults to [`NullSink`] (no observation, no overhead). See the
+/// [`sink`](crate::sink) module docs.
 #[derive(Debug, Clone)]
-pub struct Engine<P: Protocol, D: DelayModel> {
+pub struct Engine<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
     graph: Graph,
     delay: D,
     now: f64,
@@ -194,19 +229,25 @@ pub struct Engine<P: Protocol, D: DelayModel> {
     queue: BinaryHeap<QueuedEvent<P::Msg>>,
     nodes: Vec<NodeState<P>>,
     stats: MessageStats,
+    sink: S,
+    /// Scratch buffer for per-event logical-clock snapshots.
+    clock_buf: Vec<f64>,
 }
 
-impl<P: Protocol, D: DelayModel> Engine<P, D> {
+impl<P: Protocol, D: DelayModel> Engine<P, D, NullSink> {
     /// Starts building an engine over `graph`.
-    pub fn builder(graph: Graph) -> EngineBuilder<P, D> {
+    pub fn builder(graph: Graph) -> EngineBuilder<P, D, NullSink> {
         EngineBuilder {
             graph,
             protocols: None,
             delay: None,
             schedules: None,
+            sink: NullSink,
         }
     }
+}
 
+impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     /// The network graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -231,6 +272,22 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
     /// between phases).
     pub fn delay_model_mut(&mut self) -> &mut D {
         &mut self.delay
+    }
+
+    /// Immutable access to the installed event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the installed event sink (e.g. to snapshot metrics
+    /// mid-execution).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the engine, returning the installed event sink.
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// The hardware-clock reading `H_v(now)`.
@@ -294,6 +351,13 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
         let now = self.now;
         let node = &mut self.nodes[v.index()];
         node.hw.set_rate(now, rate);
+        if self.sink.enabled() {
+            self.sink.record(&EngineEvent::RateStep {
+                node: v,
+                t: now,
+                rate,
+            });
+        }
         self.reschedule_pending(v);
     }
 
@@ -309,6 +373,7 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
         debug_assert!(event.time >= self.now - 1e-9, "event in the past");
         self.now = self.now.max(event.time);
         self.dispatch(event.kind);
+        self.maybe_snapshot();
         Some(self.now)
     }
 
@@ -323,12 +388,17 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
             self.step();
         }
         self.now = t;
+        self.maybe_snapshot();
     }
 
     /// Like [`Engine::run_until`], invoking `observer` after every processed
     /// event (and once at the horizon). Used by the analysis layer to record
     /// exact skew extrema: logical clocks are piecewise linear between
     /// events, so per-event sampling captures every kink.
+    ///
+    /// New code should prefer installing an [`EventSink`] with
+    /// [`EngineBuilder::event_sink`] — sinks see the same per-event cadence
+    /// through [`EventSink::snapshot`] without borrowing the engine.
     pub fn run_until_observed(&mut self, t: f64, mut observer: impl FnMut(&Self)) {
         assert!(t >= self.now, "cannot run backwards");
         while let Some(next) = self.next_event_time() {
@@ -339,12 +409,47 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
             observer(self);
         }
         self.now = t;
+        self.maybe_snapshot();
         observer(self);
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Reports the post-event state to the sink, if it wants state.
+    fn maybe_snapshot(&mut self) {
+        if !self.sink.wants_snapshots() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.clock_buf);
+        buf.clear();
+        let now = self.now;
+        buf.extend(
+            self.nodes
+                .iter()
+                .map(|n| n.proto.logical_value(n.hw.value_at(now))),
+        );
+        self.sink.snapshot(now, &buf, self.queue.len());
+        self.clock_buf = buf;
+    }
+
+    /// Emits a multiplier-change event if `v`'s protocol changed its
+    /// logical rate multiplier while handling the last event.
+    fn note_multiplier(&mut self, v: NodeId) {
+        if !self.sink.enabled() {
+            return;
+        }
+        let multiplier = self.nodes[v.index()].proto.rate_multiplier();
+        if multiplier != self.nodes[v.index()].last_multiplier {
+            self.nodes[v.index()].last_multiplier = multiplier;
+            self.sink.record(&EngineEvent::MultiplierChange {
+                node: v,
+                t: self.now,
+                multiplier,
+            });
+        }
+    }
 
     fn push(&mut self, time: f64, kind: EventKind<P::Msg>) {
         assert!(time.is_finite(), "non-finite event time");
@@ -368,12 +473,20 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
         }
         self.start_node(v);
         let hw = self.hardware_value(v);
+        if self.sink.enabled() {
+            self.sink.record(&EngineEvent::Wake {
+                node: v,
+                t: self.now,
+                hw,
+            });
+        }
         let actions = {
             let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
             self.nodes[v.index()].proto.on_start(&mut ctx);
             ctx.actions
         };
         self.apply_actions(v, actions);
+        self.note_multiplier(v);
     }
 
     fn start_node(&mut self, v: NodeId) {
@@ -383,7 +496,13 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
         node.hw.start(now, rate);
         let prestart = std::mem::take(&mut node.prestart);
         if let Some(change) = node.schedule.next_change_after(now) {
-            self.push(change, EventKind::RateStep { node: v, at: change });
+            self.push(
+                change,
+                EventKind::RateStep {
+                    node: v,
+                    at: change,
+                },
+            );
         }
         for item in prestart {
             let id = self.add_pending(v, item);
@@ -398,19 +517,48 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
         }
         let rate = node.schedule.rate_at(at);
         node.hw.set_rate(self.now, rate);
+        if self.sink.enabled() {
+            self.sink.record(&EngineEvent::RateStep {
+                node: v,
+                t: self.now,
+                rate,
+            });
+        }
         if let Some(change) = node.schedule.next_change_after(at) {
-            self.push(change, EventKind::RateStep { node: v, at: change });
+            self.push(
+                change,
+                EventKind::RateStep {
+                    node: v,
+                    at: change,
+                },
+            );
         }
         self.reschedule_pending(v);
     }
 
     fn handle_deliver(&mut self, src: NodeId, dst: NodeId, msg: P::Msg) {
         self.stats.deliveries += 1;
+        self.stats.per_node_deliveries[dst.index()] += 1;
         let fresh = !self.nodes[dst.index()].hw.is_started();
         if fresh {
             self.start_node(dst);
         }
         let hw = self.hardware_value(dst);
+        if self.sink.enabled() {
+            if fresh {
+                self.sink.record(&EngineEvent::Wake {
+                    node: dst,
+                    t: self.now,
+                    hw,
+                });
+            }
+            self.sink.record(&EngineEvent::Deliver {
+                src,
+                dst,
+                t: self.now,
+                dst_hw: hw,
+            });
+        }
         let actions = {
             let mut ctx = Context::new(dst, hw, self.graph.neighbors(dst));
             let proto = &mut self.nodes[dst.index()].proto;
@@ -421,6 +569,7 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
             ctx.actions
         };
         self.apply_actions(dst, actions);
+        self.note_multiplier(dst);
     }
 
     fn handle_hw_due(&mut self, v: NodeId, id: u64) {
@@ -442,12 +591,21 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
             PendingHw::Timer { timer, .. } => {
                 self.nodes[v.index()].timer_slots.remove(&timer);
                 let hw = self.hardware_value(v);
+                if self.sink.enabled() {
+                    self.sink.record(&EngineEvent::TimerFire {
+                        node: v,
+                        timer,
+                        t: self.now,
+                        hw,
+                    });
+                }
                 let actions = {
                     let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
                     self.nodes[v.index()].proto.on_timer(&mut ctx, timer);
                     ctx.actions
                 };
                 self.apply_actions(v, actions);
+                self.note_multiplier(v);
             }
             PendingHw::Delivery { src, msg, .. } => {
                 self.handle_deliver(src, v, msg);
@@ -465,11 +623,27 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
                     );
                     self.stats.send_events += 1;
                     self.stats.per_node_sends[v.index()] += 1;
+                    if self.sink.enabled() {
+                        let hw = self.hardware_value(v);
+                        self.sink.record(&EngineEvent::Send {
+                            node: v,
+                            t: self.now,
+                            hw,
+                        });
+                    }
                     self.transmit(v, to, msg);
                 }
                 Action::SendAll { msg } => {
                     self.stats.send_events += 1;
                     self.stats.per_node_sends[v.index()] += 1;
+                    if self.sink.enabled() {
+                        let hw = self.hardware_value(v);
+                        self.sink.record(&EngineEvent::Send {
+                            node: v,
+                            t: self.now,
+                            hw,
+                        });
+                    }
                     let neighbors: Vec<NodeId> = self.graph.neighbors(v).to_vec();
                     for dst in neighbors {
                         self.transmit(v, dst, msg.clone());
@@ -481,6 +655,13 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
                 Action::CancelTimer { timer } => {
                     if let Some(id) = self.nodes[v.index()].timer_slots.remove(&timer) {
                         self.nodes[v.index()].pending.remove(&id);
+                        if self.sink.enabled() {
+                            self.sink.record(&EngineEvent::TimerCancel {
+                                node: v,
+                                timer,
+                                t: self.now,
+                            });
+                        }
                     }
                 }
             }
@@ -501,15 +682,39 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
         match delivery {
             Delivery::Drop => {
                 self.stats.dropped += 1;
+                self.stats.per_node_dropped[dst.index()] += 1;
+                if self.sink.enabled() {
+                    self.sink.record(&EngineEvent::Drop {
+                        src,
+                        dst,
+                        t: self.now,
+                    });
+                }
             }
             Delivery::After(d) => {
                 assert!(
                     d.is_finite() && d >= 0.0,
                     "delay model produced invalid delay {d}"
                 );
+                if self.sink.enabled() {
+                    self.sink.record(&EngineEvent::Transmit {
+                        src,
+                        dst,
+                        t: self.now,
+                        delay: Some(d),
+                    });
+                }
                 self.push(self.now + d, EventKind::Deliver { src, dst, msg });
             }
             Delivery::AtReceiverHw(target) => {
+                if self.sink.enabled() {
+                    self.sink.record(&EngineEvent::Transmit {
+                        src,
+                        dst,
+                        t: self.now,
+                        delay: None,
+                    });
+                }
                 let item = PendingHw::Delivery { src, msg, target };
                 if self.nodes[dst.index()].hw.is_started() {
                     let id = self.add_pending(dst, item);
@@ -530,6 +735,14 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
         }
         let id = self.add_pending(v, PendingHw::Timer { timer, target });
         self.nodes[v.index()].timer_slots.insert(timer, id);
+        if self.sink.enabled() {
+            self.sink.record(&EngineEvent::TimerSet {
+                node: v,
+                timer,
+                target_hw: target,
+                t: self.now,
+            });
+        }
         self.schedule_hw_due(v, id);
     }
 
@@ -551,7 +764,11 @@ impl<P: Protocol, D: DelayModel> Engine<P, D> {
     }
 
     fn reschedule_pending(&mut self, v: NodeId) {
-        let ids: Vec<u64> = self.nodes[v.index()].pending.keys().copied().collect();
+        let mut ids: Vec<u64> = self.nodes[v.index()].pending.keys().copied().collect();
+        // HashMap iteration order varies between instances; sort so that the
+        // requeue order — and hence the engine's tie-broken event sequence —
+        // is identical across same-seed runs (byte-identical event streams).
+        ids.sort_unstable();
         for id in ids {
             self.schedule_hw_due(v, id);
         }

@@ -70,6 +70,7 @@ mod delay;
 mod engine;
 mod protocol;
 pub mod rates;
+pub mod sink;
 mod ticked;
 
 pub use delay::{
@@ -78,4 +79,5 @@ pub use delay::{
 };
 pub use engine::{Engine, EngineBuilder, MessageStats};
 pub use protocol::{Context, Protocol, TimerId};
+pub use sink::{EngineEvent, EventSink, NullSink, RingBufferSink, VecSink};
 pub use ticked::Ticked;

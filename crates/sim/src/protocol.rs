@@ -42,6 +42,20 @@ pub trait Protocol: Clone {
     /// be a pure function of protocol state and `hw` (with `hw` at or after
     /// the last event the protocol handled).
     fn logical_value(&self, hw: f64) -> f64;
+
+    /// The current logical-rate multiplier relative to the hardware clock
+    /// (`A^opt` runs in fast mode at `1 + μ`, normal mode at `1`).
+    ///
+    /// Observability hook: the engine compares this after every handler and
+    /// reports changes to the installed [`EventSink`] as
+    /// [`EngineEvent::MultiplierChange`]. Protocols without a rate-switching
+    /// mechanism keep the default of `1.0`.
+    ///
+    /// [`EventSink`]: crate::EventSink
+    /// [`EngineEvent::MultiplierChange`]: crate::EngineEvent::MultiplierChange
+    fn rate_multiplier(&self) -> f64 {
+        1.0
+    }
 }
 
 /// The actions a protocol may take while handling an event.

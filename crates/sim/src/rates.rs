@@ -51,7 +51,11 @@ pub fn split(n: usize, drift: DriftBounds, fast: impl Fn(usize) -> bool) -> Vec<
 pub fn gradient(n: usize, drift: DriftBounds) -> Vec<RateSchedule> {
     (0..n)
         .map(|v| {
-            let frac = if n <= 1 { 0.0 } else { v as f64 / (n - 1) as f64 };
+            let frac = if n <= 1 {
+                0.0
+            } else {
+                v as f64 / (n - 1) as f64
+            };
             let rate = drift.min_rate() + 2.0 * drift.epsilon() * frac;
             RateSchedule::constant(rate).expect("rates within drift bounds")
         })

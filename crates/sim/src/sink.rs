@@ -1,0 +1,469 @@
+//! Execution-wide event tracing: the [`EventSink`] trait and the engine's
+//! event vocabulary.
+//!
+//! The engine emits an [`EngineEvent`] at every transition it performs —
+//! node wakes, send events, per-edge transmissions, deliveries, timer
+//! arm/cancel/fire, rate-schedule steps, and protocol rate-multiplier
+//! changes. A sink installed via
+//! [`EngineBuilder::event_sink`](crate::EngineBuilder::event_sink) receives
+//! them synchronously, in deterministic execution order, which makes an
+//! event stream a *complete, replayable record of the execution*: logical
+//! clocks are piecewise linear between events, so nothing happens that the
+//! stream does not show.
+//!
+//! The default sink is [`NullSink`]; its hooks are empty `#[inline]` bodies
+//! behind a monomorphized type parameter, so an uninstrumented engine
+//! compiles to exactly the pre-observability code (see the
+//! `observer_overhead` micro-benchmark).
+//!
+//! Sinks that need *state* rather than *transitions* (skew observers,
+//! invariant watchdogs) additionally implement
+//! [`EventSink::snapshot`], which the engine calls after each processed
+//! event with the exact logical clock values — but only when
+//! [`EventSink::wants_snapshots`] returns `true`, because computing the
+//! clock vector costs `O(n)` per event.
+
+use gcs_graph::NodeId;
+
+use crate::protocol::TimerId;
+
+/// One engine transition, in the order the engine performed it.
+///
+/// All payloads are plain `Copy` data (no message bodies): the stream
+/// describes the *shape* of the execution, which is what the paper's
+/// complexity and indistinguishability arguments are about, and keeps
+/// recording allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEvent {
+    /// A node was initialized (spontaneous wake or first delivery).
+    Wake {
+        /// The initialized node.
+        node: NodeId,
+        /// Real time of the wake.
+        t: f64,
+        /// The node's hardware reading at the wake (its `H_v` origin).
+        hw: f64,
+    },
+    /// A protocol issued a send action (one per `send`/`send_all`; the
+    /// paper's unit of message complexity, Section 6.1).
+    Send {
+        /// The sending node.
+        node: NodeId,
+        /// Real time of the send event.
+        t: f64,
+        /// The sender's hardware reading.
+        hw: f64,
+    },
+    /// One per-edge message copy left a node.
+    Transmit {
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Real time of the transmission.
+        t: f64,
+        /// The real-time delay chosen by the delay model, when it chose
+        /// one (`None` for receiver-hardware-targeted deliveries, whose
+        /// real delay is only known once the receiver's clock gets there).
+        delay: Option<f64>,
+    },
+    /// The delay model dropped a transmission.
+    Drop {
+        /// Sender of the dropped copy.
+        src: NodeId,
+        /// Intended receiver.
+        dst: NodeId,
+        /// Real time of the drop decision.
+        t: f64,
+    },
+    /// A message reached its receiver.
+    Deliver {
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Real time of the delivery.
+        t: f64,
+        /// The receiver's hardware reading at delivery.
+        dst_hw: f64,
+    },
+    /// A timer slot was armed (or re-armed, replacing its previous target).
+    TimerSet {
+        /// Owning node.
+        node: NodeId,
+        /// The slot.
+        timer: TimerId,
+        /// The hardware value at which the slot fires.
+        target_hw: f64,
+        /// Real time of the arming.
+        t: f64,
+    },
+    /// A pending timer slot was cancelled.
+    TimerCancel {
+        /// Owning node.
+        node: NodeId,
+        /// The slot.
+        timer: TimerId,
+        /// Real time of the cancellation.
+        t: f64,
+    },
+    /// A timer fired.
+    TimerFire {
+        /// Owning node.
+        node: NodeId,
+        /// The slot that fired.
+        timer: TimerId,
+        /// Real time of the firing.
+        t: f64,
+        /// The node's hardware reading when it fired.
+        hw: f64,
+    },
+    /// A pre-configured hardware rate-schedule step was applied.
+    RateStep {
+        /// The node whose hardware rate changed.
+        node: NodeId,
+        /// Real time of the step.
+        t: f64,
+        /// The new hardware rate.
+        rate: f64,
+    },
+    /// A protocol changed its logical rate multiplier (`A^opt`'s
+    /// `setClockRate` decision, Algorithm 3).
+    MultiplierChange {
+        /// The node whose multiplier changed.
+        node: NodeId,
+        /// Real time of the change.
+        t: f64,
+        /// The new multiplier (e.g. `1` or `1 + μ`).
+        multiplier: f64,
+    },
+}
+
+impl EngineEvent {
+    /// The real time at which the event occurred.
+    pub fn time(&self) -> f64 {
+        match *self {
+            EngineEvent::Wake { t, .. }
+            | EngineEvent::Send { t, .. }
+            | EngineEvent::Transmit { t, .. }
+            | EngineEvent::Drop { t, .. }
+            | EngineEvent::Deliver { t, .. }
+            | EngineEvent::TimerSet { t, .. }
+            | EngineEvent::TimerCancel { t, .. }
+            | EngineEvent::TimerFire { t, .. }
+            | EngineEvent::RateStep { t, .. }
+            | EngineEvent::MultiplierChange { t, .. } => t,
+        }
+    }
+
+    /// A short stable label for the event kind (used by metric counters
+    /// and the JSONL encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::Wake { .. } => "wake",
+            EngineEvent::Send { .. } => "send",
+            EngineEvent::Transmit { .. } => "transmit",
+            EngineEvent::Drop { .. } => "drop",
+            EngineEvent::Deliver { .. } => "deliver",
+            EngineEvent::TimerSet { .. } => "timer_set",
+            EngineEvent::TimerCancel { .. } => "timer_cancel",
+            EngineEvent::TimerFire { .. } => "timer_fire",
+            EngineEvent::RateStep { .. } => "rate_step",
+            EngineEvent::MultiplierChange { .. } => "multiplier",
+        }
+    }
+}
+
+/// Receiver of engine transitions (and, optionally, post-event state
+/// snapshots).
+///
+/// All methods have no-op defaults, so a sink implements only what it
+/// needs. The trait is object-safe: heterogeneous sinks can be composed
+/// behind `Box<dyn EventSink>` when static composition is inconvenient.
+pub trait EventSink {
+    /// Whether the engine should bother constructing and reporting events.
+    ///
+    /// [`NullSink`] returns `false`, letting the optimizer erase every
+    /// hook in uninstrumented engines.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Called for every engine transition, in execution order.
+    #[inline]
+    fn record(&mut self, event: &EngineEvent) {
+        let _ = event;
+    }
+
+    /// Whether the sink wants [`EventSink::snapshot`] calls (they cost an
+    /// `O(n)` clock evaluation per processed event).
+    #[inline]
+    fn wants_snapshots(&self) -> bool {
+        false
+    }
+
+    /// Called after each processed event — and once at the end of every
+    /// [`Engine::run_until`](crate::Engine::run_until) horizon — with the
+    /// exact logical clock values of all nodes and the current event-queue
+    /// depth.
+    #[inline]
+    fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
+        let _ = (t, clocks, queue_depth);
+    }
+}
+
+/// The default sink: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for Box<S> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn record(&mut self, event: &EngineEvent) {
+        (**self).record(event);
+    }
+    fn wants_snapshots(&self) -> bool {
+        (**self).wants_snapshots()
+    }
+    fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
+        (**self).snapshot(t, clocks, queue_depth);
+    }
+}
+
+impl<S: EventSink> EventSink for Option<S> {
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(|s| s.enabled())
+    }
+    fn record(&mut self, event: &EngineEvent) {
+        if let Some(s) = self {
+            s.record(event);
+        }
+    }
+    fn wants_snapshots(&self) -> bool {
+        self.as_ref().is_some_and(|s| s.wants_snapshots())
+    }
+    fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
+        if let Some(s) = self {
+            s.snapshot(t, clocks, queue_depth);
+        }
+    }
+}
+
+macro_rules! tuple_sinks {
+    ($(($($name:ident : $idx:tt),+);)*) => {$(
+        impl<$($name: EventSink),+> EventSink for ($($name,)+) {
+            fn enabled(&self) -> bool {
+                $(self.$idx.enabled())||+
+            }
+            fn record(&mut self, event: &EngineEvent) {
+                $(self.$idx.record(event);)+
+            }
+            fn wants_snapshots(&self) -> bool {
+                $(self.$idx.wants_snapshots())||+
+            }
+            fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
+                $(self.$idx.snapshot(t, clocks, queue_depth);)+
+            }
+        }
+    )*};
+}
+
+tuple_sinks! {
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// A growable, bounded-memory buffer of the most recent events — the
+/// "flight recorder" behind the analysis layer's invariant watchdog, usable
+/// on its own for debugging.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    events: std::collections::VecDeque<EngineEvent>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a buffer holding the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer needs capacity");
+        RingBufferSink {
+            events: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &EngineEvent> {
+        self.events.iter()
+    }
+
+    /// Total number of events recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Drains the buffer, oldest first.
+    pub fn drain(&mut self) -> Vec<EngineEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn record(&mut self, event: &EngineEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(*event);
+        self.recorded += 1;
+    }
+}
+
+/// A sink that simply collects every event into a `Vec` — handy in tests.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// The recorded events, in execution order.
+    pub events: Vec<EngineEvent>,
+}
+
+impl EventSink for VecSink {
+    fn record(&mut self, event: &EngineEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_keeps_last_n() {
+        let mut sink = RingBufferSink::new(3);
+        for i in 0..5 {
+            sink.record(&EngineEvent::Wake {
+                node: NodeId(i),
+                t: i as f64,
+                hw: 0.0,
+            });
+        }
+        assert_eq!(sink.recorded(), 5);
+        let kept: Vec<f64> = sink.events().map(|e| e.time()).collect();
+        assert_eq!(kept, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+        assert!(!NullSink.wants_snapshots());
+    }
+
+    #[test]
+    fn tuple_sink_fans_out() {
+        let mut sink = (VecSink::default(), RingBufferSink::new(8));
+        assert!(sink.enabled());
+        sink.record(&EngineEvent::Drop {
+            src: NodeId(0),
+            dst: NodeId(1),
+            t: 1.0,
+        });
+        assert_eq!(sink.0.events.len(), 1);
+        assert_eq!(sink.1.recorded(), 1);
+    }
+
+    #[test]
+    fn optional_sink_disabled_when_none() {
+        let none: Option<VecSink> = None;
+        assert!(!none.enabled());
+        let some = Some(VecSink::default());
+        assert!(some.enabled());
+    }
+
+    #[test]
+    fn event_kinds_are_distinct() {
+        let kinds = [
+            EngineEvent::Wake {
+                node: NodeId(0),
+                t: 0.0,
+                hw: 0.0,
+            }
+            .kind(),
+            EngineEvent::Send {
+                node: NodeId(0),
+                t: 0.0,
+                hw: 0.0,
+            }
+            .kind(),
+            EngineEvent::Transmit {
+                src: NodeId(0),
+                dst: NodeId(1),
+                t: 0.0,
+                delay: None,
+            }
+            .kind(),
+            EngineEvent::Drop {
+                src: NodeId(0),
+                dst: NodeId(1),
+                t: 0.0,
+            }
+            .kind(),
+            EngineEvent::Deliver {
+                src: NodeId(0),
+                dst: NodeId(1),
+                t: 0.0,
+                dst_hw: 0.0,
+            }
+            .kind(),
+            EngineEvent::TimerSet {
+                node: NodeId(0),
+                timer: TimerId(0),
+                target_hw: 0.0,
+                t: 0.0,
+            }
+            .kind(),
+            EngineEvent::TimerCancel {
+                node: NodeId(0),
+                timer: TimerId(0),
+                t: 0.0,
+            }
+            .kind(),
+            EngineEvent::TimerFire {
+                node: NodeId(0),
+                timer: TimerId(0),
+                t: 0.0,
+                hw: 0.0,
+            }
+            .kind(),
+            EngineEvent::RateStep {
+                node: NodeId(0),
+                t: 0.0,
+                rate: 1.0,
+            }
+            .kind(),
+            EngineEvent::MultiplierChange {
+                node: NodeId(0),
+                t: 0.0,
+                multiplier: 1.0,
+            }
+            .kind(),
+        ];
+        let mut unique: Vec<&str> = kinds.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+    }
+}

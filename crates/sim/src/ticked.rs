@@ -218,7 +218,10 @@ mod tests {
     fn on_grid_targets_stay_put() {
         let t = Ticked::new(Probe::default(), 0.25);
         assert!((t.round_up(0.5) - 0.5).abs() < 1e-12);
-        assert!((t.round_up(0.500000001) - 0.75).abs() < 1e-9 || (t.round_up(0.500000001) - 0.5).abs() < 1e-9);
+        assert!(
+            (t.round_up(0.500000001) - 0.75).abs() < 1e-9
+                || (t.round_up(0.500000001) - 0.5).abs() < 1e-9
+        );
         assert!((t.round_up(0.51) - 0.75).abs() < 1e-12);
     }
 

@@ -27,8 +27,8 @@ proptest! {
             .build();
         engine.wake_all_at(0.0);
         engine.run_until(horizon);
-        for v in 0..n {
-            let expected = schedules[v].integrate(0.0, horizon);
+        for (v, schedule) in schedules.iter().enumerate() {
+            let expected = schedule.integrate(0.0, horizon);
             let actual = engine.hardware_value(NodeId(v));
             prop_assert!((actual - expected).abs() < 1e-6,
                 "node {v}: H = {actual}, schedule integral = {expected}");
@@ -57,12 +57,12 @@ proptest! {
         let mut last = vec![0.0f64; nn];
         let mut ok = true;
         engine.run_until_observed(30.0, |e| {
-            for v in 0..nn {
+            for (v, prev) in last.iter_mut().enumerate() {
                 let l = e.logical_value(NodeId(v));
-                if l < last[v] - 1e-12 {
+                if l < *prev - 1e-12 {
                     ok = false;
                 }
-                last[v] = l;
+                *prev = l;
             }
         });
         prop_assert!(ok, "a logical clock ran backwards");

@@ -76,7 +76,11 @@ impl LogicalClock {
             .anchor
             .as_mut()
             .expect("set_multiplier on unstarted clock");
-        assert!(h >= a.h, "multiplier change at H={h} precedes anchor {}", a.h);
+        assert!(
+            h >= a.h,
+            "multiplier change at H={h} precedes anchor {}",
+            a.h
+        );
         a.l += a.multiplier * (h - a.h);
         a.h = h;
         a.multiplier = multiplier;

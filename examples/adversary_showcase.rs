@@ -26,9 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lb = GlobalLowerBound::new(topology::path(d + 1), eps, eps, t, t_hat, 0.01);
     let params = Params::recommended(eps, t_hat)?;
     println!("Theorem 7.2 on a path of D = {d} (ε = {eps}, 𝒯 = {t}, 𝒯̂ = {t_hat}):");
-    println!("  ϱ = {:.4}; forced skew (1+ϱ)·D·𝒯 = {:.4}", lb.rho(), lb.predicted_skew());
+    println!(
+        "  ϱ = {:.4}; forced skew (1+ϱ)·D·𝒯 = {:.4}",
+        lb.rho(),
+        lb.predicted_skew()
+    );
 
-    let (reports, indistinguishable) = lb.verify_indistinguishable(|| vec![AOpt::new(params); d + 1]);
+    let (reports, indistinguishable) =
+        lb.verify_indistinguishable(|| vec![AOpt::new(params); d + 1]);
     let mut table = Table::new(vec!["execution", "endpoint skew", "max skew"]);
     for r in &reports {
         table.row(vec![
@@ -53,7 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alpha = 1.0 - eps;
     let llb = LocalLowerBound::new(5, 2, eps, 1.0, alpha);
     let reports = llb.run(|n| vec![NoSync; n]);
-    let mut table = Table::new(vec!["stage", "pair", "distance", "skew", "target (k+1)/2·α·d·𝒯"]);
+    let mut table = Table::new(vec![
+        "stage",
+        "pair",
+        "distance",
+        "skew",
+        "target (k+1)/2·α·d·𝒯",
+    ]);
     for r in &reports {
         table.row(vec![
             r.stage.to_string(),

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::recommended(epsilon, t_max)?;
     let guard = params.local_skew_bound(diameter);
 
-    println!("deployment: {n} motes, diameter {diameter}, max degree {}", graph.max_degree());
+    println!(
+        "deployment: {n} motes, diameter {diameter}, max degree {}",
+        graph.max_degree()
+    );
     println!("slot guard interval from Thm 5.10: {:.4} ms", guard * 1e3);
     println!(
         "(a global-skew-based guard would need {:.4} ms — {}× larger)",
@@ -65,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{table}");
 
     let worst_local_ms = observer.worst_local() * 1e3;
-    println!("worst local skew ever: {worst_local_ms:.4} ms (guard {:.4} ms)", guard * 1e3);
+    println!(
+        "worst local skew ever: {worst_local_ms:.4} ms (guard {:.4} ms)",
+        guard * 1e3
+    );
     assert!(observer.worst_local() <= guard, "guard interval violated!");
 
     // Slot accounting: size the slot so the guard costs 20% of capacity.

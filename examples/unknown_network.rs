@@ -79,7 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spread = clocks.iter().cloned().fold(f64::MIN, f64::max)
         - clocks.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread <= final_params.global_skew_bound(d));
-    println!("final global skew {spread:.4} ≤ converged bound {:.4} ✓",
-        final_params.global_skew_bound(d));
+    println!(
+        "final global skew {spread:.4} ≤ converged bound {:.4} ✓",
+        final_params.global_skew_bound(d)
+    );
     Ok(())
 }

@@ -48,11 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let depths = graph.distances_from(NodeId(0));
     engine.run_until_observed(horizon, |e| {
         let now = e.now();
-        for v in 0..n {
+        for (v, &depth) in depths.iter().enumerate() {
             let l = e.logical_value(NodeId(v));
             worst_ahead = worst_ahead.max(l - now);
             let lag = now - l;
-            let d = depths[v] as usize;
+            let d = depth as usize;
             if lag > worst_lag_by_depth[d] {
                 worst_lag_by_depth[d] = lag;
             }
@@ -61,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("external synchronization on a binary tree of {n} nodes");
     println!("reference = node 0; horizon = {horizon} s\n");
-    let mut table = Table::new(vec!["depth d", "worst lag behind real time (ms)", "d·𝒯 (ms)"]);
+    let mut table = Table::new(vec![
+        "depth d",
+        "worst lag behind real time (ms)",
+        "d·𝒯 (ms)",
+    ]);
     for (d, &lag) in worst_lag_by_depth.iter().enumerate() {
         table.row(vec![
             d.to_string(),
@@ -70,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{table}");
-    println!("worst 'ahead of real time' across all nodes: {:.3e} s", worst_ahead.max(0.0));
+    println!(
+        "worst 'ahead of real time' across all nodes: {:.3e} s",
+        worst_ahead.max(0.0)
+    );
     assert!(
         worst_ahead <= 1e-9,
         "a clock overtook real time — the Section 8.5 guarantee failed"

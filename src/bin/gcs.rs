@@ -2,27 +2,34 @@
 //! reproduction.
 //!
 //! ```text
-//! gcs bounds      print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
-//! gcs run         simulate an algorithm on a topology and report skews
-//! gcs lb-global   run the Theorem 7.2 forced-global-skew construction
-//! gcs lb-local    run the Theorem 7.7 forced-local-skew construction
+//! gcs bounds        print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
+//! gcs run           simulate an algorithm on a topology and report skews
+//! gcs replay-check  diff two JSONL event logs (determinism check)
+//! gcs lb-global     run the Theorem 7.2 forced-global-skew construction
+//! gcs lb-local      run the Theorem 7.7 forced-local-skew construction
 //! ```
 //!
 //! Run `gcs <command> --help` (or no arguments) for the options.
 
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use clock_sync::adversary::framed::LocalLowerBound;
 use clock_sync::adversary::shift::GlobalLowerBound;
 use clock_sync::adversary::WavefrontDelay;
-use clock_sync::analysis::{ClockTrace, SkewObserver, Table};
+use clock_sync::analysis::{
+    diff_streams, ClockTrace, ComplexityReport, InvariantWatchdog, JsonlWriter, MetricsSink,
+    SkewObserver, Table, WatchdogTrip,
+};
 use clock_sync::core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
 use clock_sync::graph::{topology, Graph, NodeId};
 use clock_sync::sim::{
-    rates, ConstantDelay, DelayModel, DirectionalDelay, Engine, Protocol, UniformDelay,
+    rates, ConstantDelay, DelayModel, DirectionalDelay, Engine, EngineEvent, EventSink,
+    MessageStats, Protocol, UniformDelay,
 };
 use clock_sync::time::{DriftBounds, RateSchedule};
 
@@ -33,7 +40,9 @@ USAGE:
     gcs bounds    [--eps E] [--t T] [--d D] [--sigma S]
     gcs run       [--algo NAME] [--topology SPEC] [--eps E] [--t T]
                   [--horizon H] [--delays SPEC] [--rates SPEC] [--seed N]
-                  [--trace FILE.csv]
+                  [--trace FILE.csv] [--events FILE.jsonl] [--metrics]
+                  [--watchdog] [--kappa-factor F]
+    gcs replay-check FILE1.jsonl FILE2.jsonl
     gcs lb-global [--d D] [--eps E] [--t T] [--t-hat TH]
     gcs lb-local  [--b B] [--stages S] [--eps E] [--t T] [--algo NAME]
 
@@ -50,10 +59,23 @@ DELAYS (--delays):
 RATES (--rates):
     walk (default) | split | alternating:PERIOD | gradient | nominal
 
+OBSERVABILITY (gcs run):
+    --trace FILE.csv     sampled clock trajectories (plotting)
+    --events FILE.jsonl  complete engine event log, one JSON object per line;
+                         byte-identical across same-seed runs (replay-check)
+    --metrics            print the metrics registry snapshot after the run
+    --watchdog           check Conditions (1)/(2) and the Def. 5.6 legal
+                         state online; on violation, dump the last events
+    --kappa-factor F     scale κ by F, bypassing the Eq. (4) validation
+                         (with F < 1 and --watchdog: demonstrates the
+                         invariant violation the paper predicts)
+
 EXAMPLES:
     gcs bounds --eps 1e-4 --t 0.001 --d 30
     gcs run --topology grid:6x6 --delays uniform --rates walk --horizon 200
-    gcs run --algo max --topology path:32 --delays wavefront:24
+    gcs run --algo aopt --topology path:16 --events out.jsonl --metrics
+    gcs run --algo aopt --watchdog --kappa-factor 0.05 --rates split
+    gcs replay-check a.jsonl b.jsonl
     gcs lb-global --d 16 --eps 0.05 --t 0.5 --t-hat 1.0
     gcs lb-local --b 5 --stages 2 --eps 0.2 --algo nosync
 ";
@@ -68,24 +90,29 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    let opts = match Options::parse(rest) {
-        Ok(opts) => opts,
-        Err(message) => {
-            eprintln!("error: {message}\n");
-            eprint!("{USAGE}");
-            return ExitCode::FAILURE;
+    // replay-check takes positional file arguments, not --key value pairs.
+    let result = if command == "replay-check" {
+        cmd_replay_check(rest)
+    } else {
+        let opts = match Options::parse(rest) {
+            Ok(opts) => opts,
+            Err(message) => {
+                eprintln!("error: {message}\n");
+                eprint!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match command.as_str() {
+            "bounds" => cmd_bounds(&opts),
+            "run" => cmd_run(&opts),
+            "lb-global" => cmd_lb_global(&opts),
+            "lb-local" => cmd_lb_local(&opts),
+            "--help" | "-h" | "help" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`")),
         }
-    };
-    let result = match command.as_str() {
-        "bounds" => cmd_bounds(&opts),
-        "run" => cmd_run(&opts),
-        "lb-global" => cmd_lb_global(&opts),
-        "lb-local" => cmd_lb_local(&opts),
-        "--help" | "-h" | "help" => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -102,6 +129,9 @@ struct Options {
 }
 
 impl Options {
+    /// Options that are pure flags: present or absent, no value.
+    const FLAGS: &'static [&'static str] = &["metrics", "watchdog"];
+
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut values = HashMap::new();
         let mut iter = args.iter();
@@ -109,12 +139,20 @@ impl Options {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected an option, got `{key}`"));
             };
+            if Self::FLAGS.contains(&name) {
+                values.insert(name.to_string(), String::new());
+                continue;
+            }
             let Some(value) = iter.next() else {
                 return Err(format!("option `{key}` needs a value"));
             };
             values.insert(name.to_string(), value.clone());
         }
         Ok(Options { values })
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
     }
 
     fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
@@ -233,8 +271,14 @@ fn cmd_bounds(opts: &Options) -> Result<(), String> {
     let mut table = Table::new(vec!["quantity", "value"]);
     table.row(vec!["ε̂ (drift bound)".into(), format!("{eps}")]);
     table.row(vec!["𝒯̂ (delay bound)".into(), format!("{t}")]);
-    table.row(vec!["μ (fast-mode boost)".into(), format!("{:.6}", params.mu())]);
-    table.row(vec!["H₀ (send period)".into(), format!("{:.6}", params.h0())]);
+    table.row(vec![
+        "μ (fast-mode boost)".into(),
+        format!("{:.6}", params.mu()),
+    ]);
+    table.row(vec![
+        "H₀ (send period)".into(),
+        format!("{:.6}", params.h0()),
+    ]);
     table.row(vec!["κ (quantum)".into(), format!("{:.6}", params.kappa())]);
     table.row(vec!["σ (log base)".into(), params.sigma().to_string()]);
     table.row(vec!["α (min logical rate)".into(), format!("{alpha:.6}")]);
@@ -255,36 +299,132 @@ fn cmd_bounds(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The `gcs run` observability pipeline: one statically composed
+/// [`EventSink`] feeding every requested consumer from a single event
+/// stream and a single per-event snapshot pass.
+struct RunSinks {
+    observer: SkewObserver,
+    trace: Option<(String, ClockTrace)>,
+    events: Option<(String, JsonlWriter<BufWriter<File>>)>,
+    metrics: Option<MetricsSink>,
+    watchdog: Option<InvariantWatchdog>,
+}
+
+impl RunSinks {
+    fn new(graph: &Graph, horizon: f64, opts: &Options, params: Params) -> Result<Self, String> {
+        let trace = opts
+            .values
+            .get("trace")
+            .map(|path| (path.clone(), ClockTrace::new(graph.len(), horizon / 500.0)));
+        let events = match opts.values.get("events") {
+            Some(path) => {
+                let file = File::create(path)
+                    .map_err(|e| format!("cannot create event log {path}: {e}"))?;
+                Some((path.clone(), JsonlWriter::new(BufWriter::new(file))))
+            }
+            None => None,
+        };
+        let metrics = opts.flag("metrics").then(MetricsSink::new);
+        let watchdog = if opts.flag("watchdog") {
+            let eps = opts.f64_or("eps", 1e-2)?;
+            let drift = DriftBounds::new(eps).map_err(|e| e.to_string())?;
+            Some(InvariantWatchdog::new(graph, params, drift))
+        } else {
+            None
+        };
+        Ok(RunSinks {
+            observer: SkewObserver::new(graph),
+            trace,
+            events,
+            metrics,
+            watchdog,
+        })
+    }
+}
+
+impl EventSink for RunSinks {
+    fn enabled(&self) -> bool {
+        self.events.is_some() || self.metrics.is_some() || self.watchdog.is_some()
+    }
+
+    fn record(&mut self, event: &EngineEvent) {
+        if let Some((_, w)) = self.events.as_mut() {
+            w.record(event);
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.record(event);
+        }
+        if let Some(w) = self.watchdog.as_mut() {
+            w.record(event);
+        }
+    }
+
+    fn wants_snapshots(&self) -> bool {
+        true // the skew observer always samples per-event state
+    }
+
+    fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
+        self.observer.snapshot(t, clocks, queue_depth);
+        if let Some((_, trace)) = self.trace.as_mut() {
+            trace.snapshot(t, clocks, queue_depth);
+        }
+        if let Some(m) = self.metrics.as_mut() {
+            m.snapshot(t, clocks, queue_depth);
+        }
+        if let Some(w) = self.watchdog.as_mut() {
+            w.snapshot(t, clocks, queue_depth);
+        }
+    }
+}
+
+/// What one `gcs run` execution produced, after all file sinks are closed.
+struct RunOutput {
+    observer: SkewObserver,
+    stats: MessageStats,
+    metrics: Option<MetricsSink>,
+    trip: Option<WatchdogTrip>,
+}
+
 fn run_any<P: Protocol, D: DelayModel>(
     graph: Graph,
     protocols: Vec<P>,
     delay: D,
     schedules: Vec<RateSchedule>,
     horizon: f64,
-    trace_path: Option<&str>,
-) -> Result<(SkewObserver, u64), String> {
-    let n = graph.len();
-    let mut observer = SkewObserver::new(&graph);
-    let mut trace = trace_path.map(|_| ClockTrace::new(n, horizon / 500.0));
+    sinks: RunSinks,
+) -> Result<RunOutput, String> {
     let mut engine = Engine::builder(graph)
         .protocols(protocols)
         .delay_model(delay)
         .rate_schedules(schedules)
+        .event_sink(sinks)
         .build();
     engine.wake_all_at(0.0);
-    engine.run_until_observed(horizon, |e| {
-        observer.observe(e);
-        if let Some(trace) = trace.as_mut() {
-            trace.observe(e);
-        }
-    });
-    if let (Some(path), Some(trace)) = (trace_path, trace) {
+    engine.run_until(horizon);
+    let stats = engine.message_stats().clone();
+    let mut sinks = engine.into_sink();
+    if let Some((path, trace)) = sinks.trace.take() {
         trace
-            .write_csv(path)
+            .write_csv(&path)
             .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
         println!("trace written to {path} ({} rows)", trace.len());
     }
-    Ok((observer, engine.message_stats().send_events))
+    if let Some((path, writer)) = sinks.events.take() {
+        let written = writer.written();
+        writer
+            .finish()
+            .map_err(|e| format!("cannot write event log to {path}: {e}"))?;
+        println!("event log written to {path} ({written} events)");
+    }
+    if let Some(m) = sinks.metrics.as_mut() {
+        m.flush_rate_window(horizon);
+    }
+    Ok(RunOutput {
+        observer: sinks.observer,
+        stats,
+        metrics: sinks.metrics,
+        trip: sinks.watchdog.and_then(|w| w.trip().cloned()),
+    })
 }
 
 fn cmd_run(opts: &Options) -> Result<(), String> {
@@ -297,9 +437,20 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let d = graph.diameter();
     let drift = DriftBounds::new(eps).map_err(|e| e.to_string())?;
     let schedules = parse_rates(opts.str_or("rates", "walk"), n, drift, horizon, seed)?;
-    let params = Params::recommended(eps, t).map_err(|e| e.to_string())?;
+    let mut params = Params::recommended(eps, t).map_err(|e| e.to_string())?;
+    if let Some(factor) = opts.values.get("kappa-factor") {
+        let factor: f64 = factor
+            .parse()
+            .map_err(|_| format!("option --kappa-factor: `{factor}` is not a number"))?;
+        params = params.with_kappa_factor_unchecked(factor);
+        println!(
+            "κ scaled by {factor}: κ = {:.6} (Eq. 4 minimum: {:.6})",
+            params.kappa(),
+            params.min_kappa()
+        );
+    }
     let algo = opts.str_or("algo", "aopt");
-    let trace_path = opts.values.get("trace").map(String::as_str);
+    let sinks = RunSinks::new(&graph, horizon, opts, params)?;
 
     // Delay model selection (monomorphized per arm).
     macro_rules! dispatch_delay {
@@ -307,16 +458,37 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             let delay_spec = opts.str_or("delays", "uniform");
             let (kind, arg) = delay_spec.split_once(':').unwrap_or((delay_spec, ""));
             match kind {
-                "uniform" => run_any(graph.clone(), $protocols, UniformDelay::new(t, seed), schedules.clone(), horizon, trace_path)?,
-                "const" => run_any(graph.clone(), $protocols, ConstantDelay::new(t / 2.0), schedules.clone(), horizon, trace_path)?,
-                "zero" => run_any(graph.clone(), $protocols, ConstantDelay::new(0.0), schedules.clone(), horizon, trace_path)?,
+                "uniform" => run_any(
+                    graph.clone(),
+                    $protocols,
+                    UniformDelay::new(t, seed),
+                    schedules.clone(),
+                    horizon,
+                    sinks,
+                )?,
+                "const" => run_any(
+                    graph.clone(),
+                    $protocols,
+                    ConstantDelay::new(t / 2.0),
+                    schedules.clone(),
+                    horizon,
+                    sinks,
+                )?,
+                "zero" => run_any(
+                    graph.clone(),
+                    $protocols,
+                    ConstantDelay::new(0.0),
+                    schedules.clone(),
+                    horizon,
+                    sinks,
+                )?,
                 "directional" => run_any(
                     graph.clone(),
                     $protocols,
                     DirectionalDelay::new(&graph, NodeId(0), 0.0, t),
                     schedules.clone(),
                     horizon,
-                    trace_path,
+                    sinks,
                 )?,
                 "wavefront" => {
                     let boundary: u32 = if arg.is_empty() {
@@ -331,7 +503,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
                         WavefrontDelay::new(&graph, NodeId(0), t, flip, boundary),
                         schedules.clone(),
                         horizon.max(flip + 10.0),
-                        trace_path,
+                        sinks,
                     )?
                 }
                 other => return Err(format!("unknown delays spec `{other}`")),
@@ -339,7 +511,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         }};
     }
 
-    let (observer, send_events) = match algo {
+    let output = match algo {
         "aopt" => dispatch_delay!(vec![AOpt::new(params); n]),
         "jump" => dispatch_delay!(vec![AOptJump::new(params); n]),
         "mingap" => dispatch_delay!(vec![MinGapAOpt::new(params); n]),
@@ -349,6 +521,15 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         "nosync" => dispatch_delay!(vec![NoSync; n]),
         other => return Err(format!("unknown algorithm `{other}`")),
     };
+    let observer = &output.observer;
+    let stats = &output.stats;
+
+    let max_degree = graph
+        .nodes()
+        .map(|v| graph.neighbors(v).len())
+        .max()
+        .unwrap_or(0);
+    let report = ComplexityReport::from_stats(stats, &params, n, max_degree, d, horizon);
 
     let mut table = Table::new(vec!["quantity", "value"]);
     table.row(vec!["algorithm".into(), algo.to_string()]);
@@ -377,9 +558,66 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             params.local_skew_bound(d)
         ),
     ]);
-    table.row(vec!["send events".into(), send_events.to_string()]);
+    table.row(vec!["send events".into(), stats.send_events.to_string()]);
+    table.row(vec![
+        "deliveries / dropped".into(),
+        format!("{} / {}", stats.deliveries, stats.dropped),
+    ]);
+    table.row(vec![
+        "delivery imbalance (max/mean)".into(),
+        format!("{:.3}", report.delivery_imbalance),
+    ]);
     println!("{table}");
-    Ok(())
+
+    if let Some(metrics) = &output.metrics {
+        println!("\nmetrics snapshot:");
+        print!("{}", metrics.render());
+    }
+
+    match &output.trip {
+        Some(trip) => {
+            println!();
+            print!("{}", trip.render());
+            Err("invariant watchdog tripped".to_string())
+        }
+        None => {
+            if opts.flag("watchdog") {
+                println!("\nwatchdog: all invariants held");
+            }
+            Ok(())
+        }
+    }
+}
+
+fn cmd_replay_check(args: &[String]) -> Result<(), String> {
+    let [left, right] = args else {
+        return Err("replay-check needs exactly two event-log paths".to_string());
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let (a, b) = (read(left)?, read(right)?);
+    match diff_streams(&a, &b) {
+        None => {
+            println!(
+                "replay-check: streams are byte-identical ({} events)",
+                a.lines().count()
+            );
+            Ok(())
+        }
+        Some(diff) => {
+            println!("replay-check: streams diverge at line {}:", diff.line);
+            println!(
+                "  left:  {}",
+                diff.left.as_deref().unwrap_or("<end of stream>")
+            );
+            println!(
+                "  right: {}",
+                diff.right.as_deref().unwrap_or("<end of stream>")
+            );
+            Err("event streams differ".to_string())
+        }
+    }
 }
 
 fn cmd_lb_global(opts: &Options) -> Result<(), String> {
@@ -400,7 +638,11 @@ fn cmd_lb_global(opts: &Options) -> Result<(), String> {
         ]);
     }
     println!("Theorem 7.2 on a path of D = {d} (ε = {eps}, 𝒯 = {t}, 𝒯̂ = {t_hat}):");
-    println!("ϱ = {:.4}, predicted floor (1+ϱ)D𝒯 = {:.4}\n", lb.rho(), lb.predicted_skew());
+    println!(
+        "ϱ = {:.4}, predicted floor (1+ϱ)D𝒯 = {:.4}\n",
+        lb.rho(),
+        lb.predicted_skew()
+    );
     println!("{table}");
     println!("locally indistinguishable at every node: {indistinguishable}");
     println!(

@@ -3,9 +3,7 @@
 //! (§1), adaptive `𝒯̂` (§8.1), and the beyond-model loss robustness.
 
 use clock_sync::analysis::SkewObserver;
-use clock_sync::core::{
-    AdaptiveAOpt, AOpt, EnvelopeAOpt, MinGapAOpt, Params, PiggybackAOpt,
-};
+use clock_sync::core::{AOpt, AdaptiveAOpt, EnvelopeAOpt, MinGapAOpt, Params, PiggybackAOpt};
 use clock_sync::graph::{topology, NodeId};
 use clock_sync::sim::{rates, Engine, LossyDelay, Ticked, UniformDelay};
 use clock_sync::time::DriftBounds;
@@ -119,7 +117,10 @@ fn min_gap_and_plain_a_opt_agree_under_calm_conditions() {
     let gapped = run_skew(true);
     // The εDH₀ premium is small at these parameters.
     let premium = 4.0 * EPS * n as f64 * p.h0();
-    assert!(gapped <= plain + premium, "gapped {gapped} vs plain {plain}");
+    assert!(
+        gapped <= plain + premium,
+        "gapped {gapped} vs plain {plain}"
+    );
 }
 
 #[test]
@@ -194,5 +195,8 @@ fn loss_degrades_gracefully_and_drops_are_counted() {
     assert_eq!(zero_drops, 0);
     assert!(drops > 0);
     // Graceful: within a small constant of the clean run, not a blow-up.
-    assert!(lossy <= 4.0 * clean + p.kappa(), "lossy {lossy} vs clean {clean}");
+    assert!(
+        lossy <= 4.0 * clean + p.kappa(),
+        "lossy {lossy} vs clean {clean}"
+    );
 }

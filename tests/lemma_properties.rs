@@ -47,8 +47,8 @@ fn lemma_5_4_estimate_accuracy() {
     let mut checks = 0u64;
     engine.run_until_observed(120.0, |e| {
         let t = e.now();
-        for v in 0..n {
-            histories[v].push((t, e.logical_value(NodeId(v))));
+        for (v, history) in histories.iter_mut().enumerate() {
+            history.push((t, e.logical_value(NodeId(v))));
         }
         for v in 0..n {
             let hw = e.hardware_value(NodeId(v));
@@ -135,7 +135,7 @@ fn lemma_5_1_rate_decisions_are_stable_between_messages() {
     let mu = params.mu();
     let mut prev: Vec<Option<(f64, f64, f64)>> = vec![None; n]; // (hw, L, mult)
     engine.run_until_observed(100.0, |e| {
-        for v in 0..n {
+        for (v, slot) in prev.iter_mut().enumerate() {
             let hw = e.hardware_value(NodeId(v));
             let l = e.logical_value(NodeId(v));
             let mult = e.protocol(NodeId(v)).multiplier();
@@ -143,7 +143,7 @@ fn lemma_5_1_rate_decisions_are_stable_between_messages() {
                 (mult - 1.0).abs() < 1e-12 || (mult - (1.0 + mu)).abs() < 1e-12,
                 "multiplier {mult} is neither 1 nor 1 + μ"
             );
-            if let Some((hw0, l0, mult0)) = prev[v] {
+            if let Some((hw0, l0, mult0)) = *slot {
                 let dh = hw - hw0;
                 let dl = l - l0;
                 // The increment must be achievable by a (possibly mid-span
@@ -153,7 +153,7 @@ fn lemma_5_1_rate_decisions_are_stable_between_messages() {
                     "node {v}: ΔL = {dl} for ΔH = {dh} (mult was {mult0})"
                 );
             }
-            prev[v] = Some((hw, l, mult));
+            *slot = Some((hw, l, mult));
         }
     });
 }

@@ -77,7 +77,13 @@ fn theorem_7_7_meets_stage_targets_against_nosync() {
     let lb = LocalLowerBound::new(b, 2, eps, 1.0, alpha);
     let reports = lb.run(|n| vec![NoSync; n]);
     for r in &reports {
-        assert!(r.skew >= r.target - 1e-9, "stage {}: {} < {}", r.stage, r.skew, r.target);
+        assert!(
+            r.skew >= r.target - 1e-9,
+            "stage {}: {} < {}",
+            r.stage,
+            r.skew,
+            r.target
+        );
     }
     assert_eq!(reports.last().unwrap().distance, 1);
 }

@@ -156,8 +156,14 @@ fn envelope_and_progress_conditions_hold_everywhere() {
     engine.run_until_observed(100.0, |e| {
         for v in 0..n {
             let l = e.logical_value(NodeId(v));
-            assert!(envelope[v].observe(e.now(), l), "Condition (1) violated at {v}");
-            assert!(progress[v].observe(e.now(), l), "Condition (2) violated at {v}");
+            assert!(
+                envelope[v].observe(e.now(), l),
+                "Condition (1) violated at {v}"
+            );
+            assert!(
+                progress[v].observe(e.now(), l),
+                "Condition (2) violated at {v}"
+            );
         }
     });
 }

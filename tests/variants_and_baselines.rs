@@ -33,10 +33,10 @@ fn external_sync_accuracy_is_linear_in_distance() {
     engine.wake_all_at(0.0);
     let mut worst_lag = vec![0.0f64; n];
     engine.run_until_observed(200.0, |e| {
-        for v in 0..n {
+        for (v, lag) in worst_lag.iter_mut().enumerate() {
             let l = e.logical_value(NodeId(v));
             assert!(l <= e.now() + 1e-9, "node {v} overtook real time");
-            worst_lag[v] = worst_lag[v].max(e.now() - l);
+            *lag = lag.max(e.now() - l);
         }
     });
     // After the initial convergence, lag at distance d is O(d·𝒯 + ε·H₀
@@ -124,9 +124,8 @@ fn discrete_variant_tracks_continuous_a_opt() {
 
     // The quantized variant pays at most the documented penalties:
     // O(εDH₀) for periodic-only propagation plus quanta.
-    let penalty = 2.0 * eps * (n as f64) * params.h0()
-        + 4.0 * params.mu() * params.h0()
-        + params.kappa();
+    let penalty =
+        2.0 * eps * (n as f64) * params.h0() + 4.0 * params.mu() * params.h0() + params.kappa();
     assert!(
         discrete.worst_global() <= obs.worst_global() + penalty,
         "discrete {} vs continuous {} (allowed penalty {penalty})",
