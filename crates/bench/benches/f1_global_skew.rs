@@ -1,13 +1,14 @@
 //! F1 — Theorem 5.5: the global skew of `A^opt` never exceeds
 //! `𝒢 = (1 + ε̂)·D·𝒯̂ + 2ε̂/(1 + ε̂)·H₀`, across topologies and adversarial
 //! environments, and the bound is linear in the diameter.
+//!
+//! The topology grid runs through the `gcs-sweep` orchestrator: one job
+//! per case, executed in parallel, results in deterministic job order.
 
 use gcs_analysis::Table;
-use gcs_bench::{banner, f2, f4, run_aopt};
+use gcs_bench::{banner, f2, f4, workers};
 use gcs_core::Params;
-use gcs_graph::{topology, Graph, NodeId};
-use gcs_sim::{rates, DirectionalDelay};
-use gcs_time::DriftBounds;
+use gcs_sweep::{run_sweep, SweepSpec};
 
 fn main() {
     banner(
@@ -16,13 +17,42 @@ fn main() {
     );
     let eps = 0.02;
     let t_max = 0.25;
-    let drift = DriftBounds::new(eps).unwrap();
     let params = Params::recommended(eps, t_max).unwrap();
     println!(
         "ε̂ = {eps}, 𝒯̂ = {t_max}, H₀ = {:.3}, κ = {:.4}\n",
         params.h0(),
         params.kappa()
     );
+
+    // Max-drift split along distance from node 0 (`distsplit`) + slow
+    // away-delays (`directional`): the strongest generic skew builder.
+    let spec = SweepSpec {
+        topologies: [
+            "path:9",
+            "path:17",
+            "path:33",
+            "path:65",
+            "grid:5x5",
+            "grid:8x8",
+            "tree:31",
+            "tree:127",
+            "torus:6x6",
+            "er:40:0.08",
+        ]
+        .map(String::from)
+        .to_vec(),
+        eps: vec![eps],
+        t: vec![t_max],
+        delays: vec!["directional".into()],
+        rates: vec!["distsplit".into()],
+        seeds: 7..8,
+        horizon: 40.0,
+        horizon_per_diameter: 4.0,
+        ..SweepSpec::default()
+    };
+
+    let jobs = spec.expand();
+    let (outcomes, _) = run_sweep(&jobs, workers(), |_, _| {});
 
     let mut table = Table::new(vec![
         "topology",
@@ -32,37 +62,22 @@ fn main() {
         "bound 𝒢",
         "used %",
     ]);
-    let cases: Vec<(&str, Graph)> = vec![
-        ("path", topology::path(9)),
-        ("path", topology::path(17)),
-        ("path", topology::path(33)),
-        ("path", topology::path(65)),
-        ("grid", topology::grid(5, 5)),
-        ("grid", topology::grid(8, 8)),
-        ("tree", topology::binary_tree(31)),
-        ("tree", topology::binary_tree(127)),
-        ("torus", topology::torus(6, 6)),
-        ("random", topology::erdos_renyi(40, 0.08, 7)),
-    ];
-    for (name, graph) in cases {
-        let n = graph.len();
-        let d = graph.diameter();
-        // Max-drift split along distance from node 0 + slow away-delays:
-        // the strongest generic skew builder.
-        let dist = graph.distances_from(NodeId(0));
-        let schedules = rates::split(n, drift, |v| dist[v] < d / 2);
-        let delay = DirectionalDelay::new(&graph, NodeId(0), 0.0, t_max);
-        let horizon = 40.0 + 4.0 * d as f64 * t_max;
-        let outcome = run_aopt(graph, params, delay, schedules, horizon);
-        let bound = params.global_skew_bound(d);
-        assert!(outcome.global <= bound + 1e-9, "{name}: Thm 5.5 violated");
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        let r = outcome
+            .completed()
+            .unwrap_or_else(|| panic!("{} failed: {:?}", job.label(), outcome.failure()));
+        assert!(
+            r.global_skew <= r.global_bound + 1e-9,
+            "{}: Thm 5.5 violated",
+            job.topology
+        );
         table.row(vec![
-            name.to_string(),
-            n.to_string(),
-            d.to_string(),
-            f4(outcome.global),
-            f4(bound),
-            f2(outcome.global / bound * 100.0),
+            job.topology.clone(),
+            r.nodes.to_string(),
+            r.diameter.to_string(),
+            f4(r.global_skew),
+            f4(r.global_bound),
+            f2(r.global_skew / r.global_bound * 100.0),
         ]);
     }
     println!("{table}");

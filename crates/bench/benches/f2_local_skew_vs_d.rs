@@ -1,24 +1,37 @@
 //! F2 — Theorem 5.10: the local skew of `A^opt` is bounded by
 //! `κ(⌈log_σ(2𝒢/κ)⌉ + ½)`, i.e. it grows *logarithmically* with the
 //! diameter while the global skew grows linearly.
+//!
+//! The diameter grid runs through the `gcs-sweep` orchestrator; the
+//! `wavefront` delay spec extends each job's horizon past its flip time.
 
-use gcs_adversary::WavefrontDelay;
 use gcs_analysis::Table;
-use gcs_bench::{banner, f4, run_aopt};
-use gcs_core::Params;
-use gcs_graph::{topology, NodeId};
-use gcs_sim::rates;
-use gcs_time::DriftBounds;
+use gcs_bench::{banner, f4, workers};
+use gcs_sweep::{run_sweep, SweepSpec};
 
 fn main() {
     banner(
         "F2",
         "local skew ≤ κ(⌈log_σ(2𝒢/κ)⌉+½) (Thm 5.10): logarithmic in D",
     );
-    let eps = 0.02;
-    let t_max = 0.25;
-    let drift = DriftBounds::new(eps).unwrap();
-    let params = Params::recommended(eps, t_max).unwrap();
+
+    // Drift split by distance (`distsplit`) + a mid-run wavefront flip: a
+    // strong local-skew builder that A^opt must absorb smoothly.
+    let spec = SweepSpec {
+        topologies: ["path:9", "path:17", "path:33", "path:65", "path:129"]
+            .map(String::from)
+            .to_vec(),
+        eps: vec![0.02],
+        t: vec![0.25],
+        delays: vec!["wavefront".into()],
+        rates: vec!["distsplit".into()],
+        seeds: 0..1,
+        horizon: 0.0, // the wavefront's flip time + 20 dominates
+        ..SweepSpec::default()
+    };
+
+    let jobs = spec.expand();
+    let (outcomes, _) = run_sweep(&jobs, workers(), |_, _| {});
 
     let mut table = Table::new(vec![
         "D",
@@ -27,29 +40,21 @@ fn main() {
         "measured global",
         "global bound 𝒢",
     ]);
-    for d in [8usize, 16, 32, 64, 128] {
-        let graph = topology::path(d + 1);
-        let n = graph.len();
-        // Drift split + a mid-run wavefront flip: a strong local-skew
-        // builder that A^opt must absorb smoothly.
-        let dist = graph.distances_from(NodeId(0));
-        let schedules = rates::split(n, drift, |v| dist[v] < (d / 2) as u32);
-        let boundary = (d / 2) as u32;
-        let flip = boundary as f64 * t_max / (2.0 * eps) + 20.0;
-        let delay = WavefrontDelay::new(&graph, NodeId(0), t_max, flip, boundary);
-        let outcome = run_aopt(graph, params, delay, schedules, flip + 20.0);
-        let l_bound = params.local_skew_bound(d as u32);
-        let g_bound = params.global_skew_bound(d as u32);
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        let r = outcome
+            .completed()
+            .unwrap_or_else(|| panic!("{} failed: {:?}", job.label(), outcome.failure()));
         assert!(
-            outcome.local <= l_bound + 1e-9,
-            "Thm 5.10 violated at D={d}"
+            r.local_skew <= r.local_bound + 1e-9,
+            "Thm 5.10 violated at D={}",
+            r.diameter
         );
         table.row(vec![
-            d.to_string(),
-            f4(outcome.local),
-            f4(l_bound),
-            f4(outcome.global),
-            f4(g_bound),
+            r.diameter.to_string(),
+            f4(r.local_skew),
+            f4(r.local_bound),
+            f4(r.global_skew),
+            f4(r.global_bound),
         ]);
     }
     println!("{table}");

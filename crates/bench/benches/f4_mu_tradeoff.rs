@@ -3,13 +3,13 @@
 //! `κ(⌈log_σ(2𝒢/κ)⌉+½)` — but also raises `κ` (linearly in `μ` through
 //! Eq. 4) and loosens the rate envelope `β = (1+ε̂)(1+μ)`: the paper's
 //! trade-off between smooth clocks and small local skew.
+//!
+//! The σ axis runs through the `gcs-sweep` orchestrator: one job per σ.
 
 use gcs_analysis::Table;
-use gcs_bench::{banner, f4, run_aopt};
+use gcs_bench::{banner, f4, workers};
 use gcs_core::Params;
-use gcs_graph::{topology, NodeId};
-use gcs_sim::{rates, DirectionalDelay};
-use gcs_time::DriftBounds;
+use gcs_sweep::{run_sweep, SweepSpec};
 
 fn main() {
     banner(
@@ -19,8 +19,22 @@ fn main() {
     let eps = 1e-3;
     let t_max = 0.25;
     let d = 64usize;
-    let drift = DriftBounds::new(eps).unwrap();
     println!("fixed D = {d}, ε̂ = {eps}, 𝒯̂ = {t_max}\n");
+
+    let spec = SweepSpec {
+        topologies: vec![format!("path:{}", d + 1)],
+        eps: vec![eps],
+        t: vec![t_max],
+        sigmas: [2u32, 4, 8, 16, 64, 256].map(Some).to_vec(),
+        delays: vec!["directional".into()],
+        rates: vec!["distsplit".into()],
+        seeds: 0..1,
+        horizon: 120.0,
+        ..SweepSpec::default()
+    };
+
+    let jobs = spec.expand();
+    let (outcomes, _) = run_sweep(&jobs, workers(), |_, _| {});
 
     let mut table = Table::new(vec![
         "σ",
@@ -31,18 +45,15 @@ fn main() {
         "local bound",
         "measured local",
     ]);
-    for sigma in [2u32, 4, 8, 16, 64, 256] {
-        let params = Params::with_sigma(eps, t_max, sigma).unwrap();
-        let graph = topology::path(d + 1);
-        let n = graph.len();
-        let dist = graph.distances_from(NodeId(0));
-        let schedules = rates::split(n, drift, |v| dist[v] < (d / 2) as u32);
-        let delay = DirectionalDelay::new(&graph, NodeId(0), 0.0, t_max);
-        let outcome = run_aopt(graph, params, delay, schedules, 120.0);
-        let bound = params.local_skew_bound(d as u32);
-        assert!(outcome.local <= bound + 1e-9);
-        let levels = (2.0 * params.global_skew_bound(d as u32) / params.kappa())
-            .log(params.sigma() as f64)
+    for (job, outcome) in jobs.iter().zip(&outcomes) {
+        let r = outcome
+            .completed()
+            .unwrap_or_else(|| panic!("{} failed: {:?}", job.label(), outcome.failure()));
+        assert!(r.local_skew <= r.local_bound + 1e-9);
+        let sigma = job.sigma.expect("the σ axis is explicit in this sweep");
+        let params = Params::with_sigma(job.eps, job.t, sigma).unwrap();
+        let levels = (2.0 * r.global_bound / params.kappa())
+            .log(sigma as f64)
             .ceil();
         table.row(vec![
             sigma.to_string(),
@@ -50,8 +61,8 @@ fn main() {
             format!("{:.3}", params.rate_envelope().1),
             format!("{:.4}", params.kappa()),
             format!("{levels:.0}"),
-            f4(bound),
-            f4(outcome.local),
+            f4(r.local_bound),
+            f4(r.local_skew),
         ]);
     }
     println!("{table}");

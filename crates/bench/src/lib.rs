@@ -66,6 +66,13 @@ pub fn run_aopt<D: DelayModel>(
     run_protocol(graph, vec![AOpt::new(params); n], delay, schedules, horizon)
 }
 
+/// Worker-thread count for orchestrated sweeps: the host's available
+/// parallelism (sweep output is byte-identical at any worker count, so
+/// this only affects wall clock).
+pub fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Formats a float with 4 decimal places.
 pub fn f4(x: f64) -> String {
     format!("{x:.4}")

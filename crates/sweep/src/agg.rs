@@ -1,0 +1,191 @@
+//! Streaming aggregation of job results.
+//!
+//! The aggregator ingests outcomes **in job-index order** (the pool's emit
+//! order), so every derived statistic — including order-sensitive floating
+//! point sums — is a pure function of the sweep spec, independent of worker
+//! count. Quantiles are computed on demand from the retained samples by the
+//! nearest-rank rule.
+
+use gcs_analysis::Table;
+
+use crate::job::JobResult;
+use crate::pool::JobOutcome;
+
+/// Order-stable summary statistics over one measured quantity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stat {
+    values: Vec<f64>,
+    sum: f64,
+}
+
+impl Stat {
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sum += v;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean of the samples (ingestion order), or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.values.is_empty()).then(|| self.sum / self.values.len() as f64)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Nearest-rank quantile `q ∈ [0, 1]`, or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+/// Rolled-up view of a whole sweep: counts, failures, and summary
+/// statistics per measured quantity.
+#[derive(Debug, Clone, Default)]
+pub struct SweepAggregate {
+    /// Jobs ingested so far.
+    pub total: usize,
+    /// Jobs that completed.
+    pub completed: usize,
+    /// Jobs that failed (error or panic).
+    pub failed: usize,
+    /// `(job index, message)` for every failed job, in job order.
+    pub failures: Vec<(usize, String)>,
+    /// Completed jobs whose invariant watchdog tripped.
+    pub watchdog_trips: usize,
+    /// Worst global skew per job.
+    pub global_skew: Stat,
+    /// Worst local skew per job.
+    pub local_skew: Stat,
+    /// Send events per job.
+    pub send_events: Stat,
+    /// Deliveries per job.
+    pub deliveries: Stat,
+    /// Drops per job.
+    pub dropped: Stat,
+    /// Recorded engine events per job.
+    pub events: Stat,
+}
+
+impl SweepAggregate {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        SweepAggregate::default()
+    }
+
+    /// Folds one job outcome in. Must be called in job-index order for
+    /// deterministic output — the pool's emit callback guarantees that.
+    pub fn ingest(&mut self, index: usize, outcome: &JobOutcome<JobResult>) {
+        self.total += 1;
+        match outcome {
+            JobOutcome::Completed(r) => {
+                self.completed += 1;
+                if r.watchdog_tripped {
+                    self.watchdog_trips += 1;
+                }
+                self.global_skew.record(r.global_skew);
+                self.local_skew.record(r.local_skew);
+                self.send_events.record(r.send_events as f64);
+                self.deliveries.record(r.deliveries as f64);
+                self.dropped.record(r.dropped as f64);
+                self.events.record(r.events_recorded as f64);
+            }
+            JobOutcome::Failed(message) => {
+                self.failed += 1;
+                self.failures.push((index, message.clone()));
+            }
+        }
+    }
+
+    /// Renders the summary statistics as the run table.
+    pub fn render_table(&self) -> Table {
+        let mut table = Table::new(vec![
+            "metric", "count", "mean", "min", "p50", "p95", "p99", "max",
+        ]);
+        let mut push = |name: &str, stat: &Stat| {
+            let f = |v: Option<f64>| v.map_or_else(|| "-".into(), |v| format!("{v:.6}"));
+            table.row(vec![
+                name.to_string(),
+                stat.count().to_string(),
+                f(stat.mean()),
+                f(stat.min()),
+                f(stat.quantile(0.50)),
+                f(stat.quantile(0.95)),
+                f(stat.quantile(0.99)),
+                f(stat.max()),
+            ]);
+        };
+        push("global skew", &self.global_skew);
+        push("local skew", &self.local_skew);
+        push("send events", &self.send_events);
+        push("deliveries", &self.deliveries);
+        push("dropped", &self.dropped);
+        push("engine events", &self.events);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let mut s = Stat::default();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(0.95), Some(5.0));
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(Stat::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn aggregate_counts_failures_and_trips() {
+        let mut agg = SweepAggregate::new();
+        let ok = JobResult {
+            nodes: 4,
+            diameter: 3,
+            horizon: 10.0,
+            global_skew: 1.0,
+            local_skew: 0.5,
+            global_bound: 2.0,
+            local_bound: 1.0,
+            send_events: 10,
+            transmissions: 20,
+            deliveries: 20,
+            dropped: 0,
+            events_recorded: 50,
+            watchdog_tripped: true,
+        };
+        agg.ingest(0, &JobOutcome::Completed(ok));
+        agg.ingest(1, &JobOutcome::Failed("panicked: boom".into()));
+        assert_eq!((agg.total, agg.completed, agg.failed), (2, 1, 1));
+        assert_eq!(agg.watchdog_trips, 1);
+        assert_eq!(agg.failures, vec![(1, "panicked: boom".into())]);
+        assert_eq!(agg.global_skew.count(), 1);
+    }
+}

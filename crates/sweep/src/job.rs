@@ -1,0 +1,211 @@
+//! Executing one sweep job: a fresh engine, a fresh observability stack,
+//! one measured execution.
+
+use gcs_analysis::{InvariantWatchdog, MetricsSink, SkewObserver};
+use gcs_core::{
+    AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
+};
+use gcs_graph::Graph;
+use gcs_sim::{Engine, EngineEvent, EventSink, MessageStats, Protocol};
+use gcs_time::{DriftBounds, RateSchedule};
+
+use crate::parse::{build_delay, build_rates, parse_topology, SweepDelay};
+use crate::spec::JobSpec;
+
+/// Measurements from one completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Number of nodes of the instantiated topology.
+    pub nodes: usize,
+    /// Diameter of the instantiated topology.
+    pub diameter: u32,
+    /// Effective real-time horizon the execution ran to.
+    pub horizon: f64,
+    /// Worst pairwise logical skew over the execution.
+    pub global_skew: f64,
+    /// Worst neighbour logical skew over the execution.
+    pub local_skew: f64,
+    /// `A^opt`'s Theorem 5.5 bound 𝒢 for this job's parameters and diameter.
+    pub global_bound: f64,
+    /// `A^opt`'s Theorem 5.10 bound for this job's parameters and diameter.
+    pub local_bound: f64,
+    /// Broadcast send events.
+    pub send_events: u64,
+    /// Per-edge message transmissions.
+    pub transmissions: u64,
+    /// Delivered messages.
+    pub deliveries: u64,
+    /// Messages dropped by the delay model.
+    pub dropped: u64,
+    /// Engine events recorded by the per-job metrics sink.
+    pub events_recorded: u64,
+    /// Whether the invariant watchdog tripped (always `false` when the
+    /// sweep runs without `watchdog`).
+    pub watchdog_tripped: bool,
+}
+
+/// The per-job observability stack: exact skew observation, the PR-1
+/// metrics registry, and (optionally) the PR-1 invariant watchdog — all
+/// freshly constructed per job so jobs share no state.
+struct JobSinks {
+    observer: SkewObserver,
+    metrics: MetricsSink,
+    watchdog: Option<InvariantWatchdog>,
+}
+
+impl JobSinks {
+    fn new(graph: &Graph, params: Params, drift: DriftBounds, watchdog: bool) -> Self {
+        JobSinks {
+            observer: SkewObserver::new(graph),
+            metrics: MetricsSink::new(),
+            watchdog: watchdog.then(|| InvariantWatchdog::new(graph, params, drift)),
+        }
+    }
+}
+
+impl EventSink for JobSinks {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: &EngineEvent) {
+        self.metrics.record(event);
+        if let Some(w) = self.watchdog.as_mut() {
+            w.record(event);
+        }
+    }
+
+    fn wants_snapshots(&self) -> bool {
+        true
+    }
+
+    fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
+        self.observer.observe_clocks(t, clocks);
+        self.metrics.snapshot(t, clocks, queue_depth);
+        if let Some(w) = self.watchdog.as_mut() {
+            w.snapshot(t, clocks, queue_depth);
+        }
+    }
+}
+
+fn exec<P: Protocol>(
+    graph: Graph,
+    protocols: Vec<P>,
+    delay: SweepDelay,
+    schedules: Vec<RateSchedule>,
+    horizon: f64,
+    sinks: JobSinks,
+) -> (JobSinks, MessageStats) {
+    let mut engine = Engine::builder(graph)
+        .protocols(protocols)
+        .delay_model(delay)
+        .rate_schedules(schedules)
+        .event_sink(sinks)
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until(horizon);
+    let stats = engine.message_stats().clone();
+    (engine.into_sink(), stats)
+}
+
+/// Runs one job to completion on a fresh engine and returns its
+/// measurements.
+///
+/// Every randomized component (random topologies, the uniform delay model,
+/// random-walk rate schedules) is seeded from `job.seed`, so a job's result
+/// is a pure function of its [`JobSpec`] — the foundation of the sweep
+/// determinism guarantee.
+pub fn run_job(job: &JobSpec) -> Result<JobResult, String> {
+    let graph = parse_topology(&job.topology, job.seed)?;
+    let n = graph.len();
+    let d = graph.diameter();
+    let drift = DriftBounds::new(job.eps).map_err(|e| e.to_string())?;
+    let params = match job.sigma {
+        Some(sigma) => Params::with_sigma(job.eps, job.t, sigma),
+        None => Params::recommended(job.eps, job.t),
+    }
+    .map_err(|e| e.to_string())?;
+    let base_horizon = job.horizon + job.horizon_per_diameter * d as f64 * job.t;
+    let (delay, min_horizon) = build_delay(&job.delay, &graph, job.t, job.eps, job.seed)?;
+    let horizon = base_horizon.max(min_horizon);
+    let schedules = build_rates(&job.rates, &graph, drift, horizon, job.seed)?;
+    let sinks = JobSinks::new(&graph, params, drift, job.watchdog);
+
+    macro_rules! run {
+        ($protocols:expr) => {
+            exec(graph, $protocols, delay, schedules, horizon, sinks)
+        };
+    }
+    let (mut sinks, stats) = match job.algo.as_str() {
+        "aopt" => run!(vec![AOpt::new(params); n]),
+        "jump" => run!(vec![AOptJump::new(params); n]),
+        "mingap" => run!(vec![MinGapAOpt::new(params); n]),
+        "envelope" => run!(vec![EnvelopeAOpt::new(params); n]),
+        "max" => run!(vec![MaxAlgorithm::new(1.0); n]),
+        "midpoint" => run!(vec![MidpointAlgorithm::new(params.h0(), params.mu()); n]),
+        "nosync" => run!(vec![NoSync; n]),
+        other => return Err(format!("unknown algorithm `{other}`")),
+    };
+    sinks.metrics.flush_rate_window(horizon);
+
+    Ok(JobResult {
+        nodes: n,
+        diameter: d,
+        horizon,
+        global_skew: sinks.observer.worst_global(),
+        local_skew: sinks.observer.worst_local(),
+        global_bound: params.global_skew_bound(d),
+        local_bound: params.local_skew_bound(d),
+        send_events: stats.send_events,
+        transmissions: stats.transmissions,
+        deliveries: stats.deliveries,
+        dropped: stats.dropped,
+        events_recorded: sinks
+            .metrics
+            .registry()
+            .counter_value("events.total")
+            .unwrap_or(0),
+        watchdog_tripped: sinks.watchdog.is_some_and(|w| w.tripped()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpec;
+
+    #[test]
+    fn job_result_is_reproducible_and_respects_bounds() {
+        let spec = SweepSpec {
+            topologies: vec!["path:6".into()],
+            horizon: 30.0,
+            watchdog: true,
+            ..SweepSpec::default()
+        };
+        let job = &spec.expand()[0];
+        let a = run_job(job).unwrap();
+        let b = run_job(job).unwrap();
+        assert_eq!(a, b, "same JobSpec must reproduce identical results");
+        assert_eq!(a.nodes, 6);
+        assert_eq!(a.diameter, 5);
+        assert!(a.global_skew <= a.global_bound + 1e-9);
+        assert!(a.local_skew <= a.global_skew + 1e-12);
+        assert!(a.send_events > 0 && a.deliveries > 0);
+        assert!(a.events_recorded > 0);
+        assert!(!a.watchdog_tripped);
+    }
+
+    #[test]
+    fn bad_job_specs_fail_cleanly() {
+        let spec = SweepSpec {
+            topologies: vec!["moebius:6".into()],
+            ..SweepSpec::default()
+        };
+        assert!(run_job(&spec.expand()[0]).is_err());
+        let spec = SweepSpec {
+            algos: vec!["quantum".into()],
+            ..SweepSpec::default()
+        };
+        assert!(run_job(&spec.expand()[0]).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! `gcs-sweep` — parallel, deterministic experiment-sweep orchestration.
+//!
+//! Every quantitative claim of *Tight Bounds for Clock Synchronization* is
+//! checked by sweeping parameters: topology families × `(ε̂, 𝒯̂, σ)` axes ×
+//! seeds × adversary strategies. This crate turns such a grid into
+//! independent jobs and runs them on a [`std::thread`] worker pool:
+//!
+//! * [`SweepSpec`] — the grid. Expanded by [`SweepSpec::expand`] into
+//!   [`JobSpec`]s in a fixed nesting order; the job index is the job's
+//!   identity in every output stream.
+//! * [`run_job`] — one job on a **fresh engine** with a fresh per-job
+//!   observability stack (exact [`gcs_analysis::SkewObserver`],
+//!   [`gcs_analysis::MetricsSink`], optional
+//!   [`gcs_analysis::InvariantWatchdog`]). A job's result is a pure
+//!   function of its spec.
+//! * [`run_pool`] — the shared work queue. Panics are caught per job
+//!   ([`JobOutcome::Failed`]) and the pool keeps draining; completed
+//!   results are emitted **in job-index order regardless of worker
+//!   count**, streamed as the completed prefix grows.
+//! * [`SweepAggregate`] / [`report`] — order-stable statistics
+//!   (count/mean/min/max/p50/p95/p99) and deterministic CSV + JSONL rows:
+//!   the same spec produces byte-identical output at any `--jobs` value.
+//!
+//! # Example
+//!
+//! ```
+//! use gcs_sweep::{run_sweep, SweepSpec};
+//!
+//! let mut spec = SweepSpec::default();
+//! spec.topologies = vec!["path:5".into(), "ring:6".into()];
+//! spec.seeds = 0..2;
+//! spec.horizon = 20.0;
+//! let jobs = spec.expand();
+//! let (outcomes, agg) = run_sweep(&jobs, 2, |_job, _outcome| {});
+//! assert_eq!(outcomes.len(), 4);
+//! assert_eq!(agg.completed, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agg;
+mod job;
+pub mod parse;
+mod pool;
+pub mod report;
+mod spec;
+
+pub use agg::{Stat, SweepAggregate};
+pub use job::{run_job, JobResult};
+pub use parse::{build_delay, build_rates, parse_topology, SweepDelay, ALGOS};
+pub use pool::{run_pool, JobOutcome};
+pub use spec::{JobSpec, SweepSpec};
+
+/// Runs the given jobs on `workers` threads and aggregates the results.
+///
+/// `emit` is invoked once per job in strictly increasing job-index order
+/// (see [`run_pool`]) — the place to stream CSV/JSONL rows. The aggregate
+/// ingests outcomes in the same order, so its statistics are independent
+/// of `workers`.
+pub fn run_sweep(
+    jobs: &[JobSpec],
+    workers: usize,
+    mut emit: impl FnMut(&JobSpec, &JobOutcome<JobResult>) + Send,
+) -> (Vec<JobOutcome<JobResult>>, SweepAggregate) {
+    let mut aggregate = SweepAggregate::new();
+    let outcomes = run_pool(
+        jobs.len(),
+        workers,
+        |index| run_job(&jobs[index]),
+        |index, outcome| {
+            aggregate.ingest(index, outcome);
+            emit(&jobs[index], outcome);
+        },
+    );
+    (outcomes, aggregate)
+}

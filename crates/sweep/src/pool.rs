@@ -1,0 +1,177 @@
+//! The worker pool: a shared work queue over `std::thread`, panic
+//! isolation per job, and **in-order streaming emission** of results.
+//!
+//! Workers claim job indices from an atomic counter and run them
+//! independently. Each completed (or failed, or panicked) job is stored at
+//! its index; a watermark then advances over the longest completed prefix,
+//! invoking the caller's emit callback for each job **in index order** —
+//! so consumers (aggregators, CSV/JSONL writers) see the exact same
+//! sequence whether the pool ran with 1 worker or 16. Nothing is buffered
+//! beyond the out-of-order suffix, so emission is streaming: a slow job
+//! holds back emission but not execution.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// What became of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Completed(T),
+    /// The job returned an error, or its code panicked (the panic is
+    /// caught; the message records it). Other jobs are unaffected.
+    Failed(String),
+}
+
+impl<T> JobOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Completed(v) => Some(v),
+            JobOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure message, if any.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Completed(_) => None,
+            JobOutcome::Failed(e) => Some(e),
+        }
+    }
+}
+
+struct EmitState<T, E> {
+    results: Vec<Option<JobOutcome<T>>>,
+    watermark: usize,
+    emit: E,
+}
+
+/// Runs jobs `0..count` on `workers` threads and returns all outcomes in
+/// index order.
+///
+/// `run` executes one job; it is called from worker threads and must be
+/// `Sync`. A panic inside `run` is caught and converted into
+/// [`JobOutcome::Failed`] — the pool keeps draining the remaining jobs.
+///
+/// `emit` is invoked exactly once per job, **in strictly increasing index
+/// order** regardless of completion order or worker count, as soon as the
+/// completed prefix reaches that job. It runs under the pool's result lock,
+/// so it should do cheap work (aggregation, buffered writes).
+pub fn run_pool<T, F, E>(count: usize, workers: usize, run: F, emit: E) -> Vec<JobOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, String> + Sync,
+    E: FnMut(usize, &JobOutcome<T>) + Send,
+{
+    let workers = workers.max(1).min(count.max(1));
+    let next = AtomicUsize::new(0);
+    let state = Mutex::new(EmitState {
+        results: (0..count).map(|_| None).collect(),
+        watermark: 0,
+        emit,
+    });
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let outcome = match catch_unwind(AssertUnwindSafe(|| run(index))) {
+                    Ok(Ok(value)) => JobOutcome::Completed(value),
+                    Ok(Err(message)) => JobOutcome::Failed(message),
+                    Err(payload) => JobOutcome::Failed(panic_message(payload.as_ref())),
+                };
+                let mut state = state.lock().expect("pool state poisoned");
+                state.results[index] = Some(outcome);
+                // Advance the watermark over the completed prefix, emitting
+                // each newly reachable job in index order.
+                while state.watermark < count && state.results[state.watermark].is_some() {
+                    let at = state.watermark;
+                    state.watermark += 1;
+                    let ready = state.results[at].take().expect("checked is_some");
+                    (state.emit)(at, &ready);
+                    state.results[at] = Some(ready);
+                }
+            });
+        }
+    });
+
+    let state = state.into_inner().expect("pool state poisoned");
+    debug_assert_eq!(state.watermark, count, "every job must have been emitted");
+    state
+        .results
+        .into_iter()
+        .map(|slot| slot.expect("every job must have completed"))
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked: <non-string payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn emits_in_index_order_under_out_of_order_completion() {
+        let count = 24;
+        // Early jobs sleep longest, so high indices finish first under
+        // parallelism — the watermark must still emit 0, 1, 2, …
+        let run = |i: usize| {
+            thread::sleep(Duration::from_millis(((count - i) % 5) as u64));
+            Ok(i * 10)
+        };
+        let mut seen = Vec::new();
+        let outcomes = run_pool(count, 8, run, |i, _| seen.push(i));
+        assert_eq!(seen, (0..count).collect::<Vec<_>>());
+        assert_eq!(outcomes.len(), count);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.completed(), Some(&(i * 10)));
+        }
+    }
+
+    #[test]
+    fn pool_drains_every_job_once() {
+        let ran = AtomicU64::new(0);
+        let outcomes = run_pool(
+            100,
+            7,
+            |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i % 3 == 0 {
+                    Err(format!("job {i} declined"))
+                } else {
+                    Ok(i)
+                }
+            },
+            |_, _| {},
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 100);
+        assert_eq!(
+            outcomes.iter().filter(|o| o.failure().is_some()).count(),
+            34
+        );
+    }
+
+    #[test]
+    fn zero_jobs_and_zero_workers_are_fine() {
+        let outcomes = run_pool(0, 0, |_| Ok(()), |_, _| {});
+        assert!(outcomes.is_empty());
+        let outcomes = run_pool(3, 0, Ok, |_, _| {});
+        assert_eq!(outcomes.len(), 3);
+    }
+}

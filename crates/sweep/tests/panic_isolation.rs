@@ -1,0 +1,143 @@
+//! Worker-panic isolation: a job whose *protocol code* panics mid-engine
+//! must be reported as failed in the sweep summary, while every other job
+//! in the sweep still runs to completion.
+
+use gcs_analysis::SkewObserver;
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{ConstantDelay, Context, Engine, Protocol, TimerId};
+use gcs_sweep::{report, run_job, run_pool, SweepAggregate, SweepSpec};
+
+/// A protocol that behaves like a quiet beacon — except that a poisoned
+/// node panics from inside the engine's event loop once its hardware
+/// clock passes the detonation time.
+#[derive(Clone, Debug)]
+struct Detonator {
+    poisoned: bool,
+}
+
+impl Protocol for Detonator {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        ctx.send_all(());
+        ctx.set_timer(TimerId(0), ctx.hw() + 1.0);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ()>, _timer: TimerId) {
+        if self.poisoned && ctx.hw() > 3.0 {
+            panic!("protocol invariant breached at hw {:.2}", ctx.hw());
+        }
+        ctx.set_timer(TimerId(0), ctx.hw() + 1.0);
+    }
+
+    fn logical_value(&self, hw: f64) -> f64 {
+        hw
+    }
+}
+
+/// Runs one simulated execution; the run at `poison_index` panics from
+/// protocol code inside the engine's event loop.
+fn run_detonator_job(index: usize, poison_index: usize) -> Result<f64, String> {
+    let n = 4;
+    let graph = topology::path(n);
+    let mut observer = SkewObserver::new(&graph);
+    let mut engine = Engine::builder(graph)
+        .protocols(vec![
+            Detonator {
+                poisoned: index == poison_index,
+            };
+            n
+        ])
+        .delay_model(ConstantDelay::new(0.05))
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until_observed(10.0, |e| observer.observe(e));
+    Ok(observer.worst_global())
+}
+
+/// Installs a silent panic hook for the intentional detonations (the
+/// pool's `catch_unwind` turns them into `JobOutcome::Failed`), runs `f`,
+/// and restores the previous hook.
+fn with_silent_panics<T>(f: impl FnOnce() -> T) -> T {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(default_hook);
+    out
+}
+
+#[test]
+fn panicking_protocol_fails_its_job_and_spares_the_rest() {
+    let poison = 5;
+    let outcomes =
+        with_silent_panics(|| run_pool(12, 4, |i| run_detonator_job(i, poison), |_, _| {}));
+
+    assert_eq!(outcomes.len(), 12);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i == poison {
+            let message = outcome.failure().expect("poisoned job must fail");
+            assert!(
+                message.contains("panicked") && message.contains("protocol invariant breached"),
+                "failure must carry the panic message, got: {message}"
+            );
+        } else {
+            assert!(
+                outcome.completed().is_some(),
+                "job {i} must complete despite job {poison} panicking"
+            );
+        }
+    }
+}
+
+/// The full sweep path: real `run_job` executions plus one injected panic,
+/// aggregated via the same emit callback `gcs sweep` uses. The failure is
+/// counted, indexed, and serialized without disturbing the other jobs.
+#[test]
+fn failed_jobs_are_counted_in_summary_and_reports() {
+    let spec = SweepSpec {
+        topologies: vec!["path:4".into()],
+        horizon: 5.0,
+        seeds: 0..6,
+        ..SweepSpec::default()
+    };
+    let jobs = spec.expand();
+    assert_eq!(jobs.len(), 6);
+
+    let mut aggregate = SweepAggregate::new();
+    let outcomes = with_silent_panics(|| {
+        run_pool(
+            jobs.len(),
+            3,
+            |i| {
+                if i == 2 {
+                    panic!("boom {i}");
+                }
+                run_job(&jobs[i])
+            },
+            |index, outcome| aggregate.ingest(index, outcome),
+        )
+    });
+
+    assert_eq!(
+        (aggregate.total, aggregate.completed, aggregate.failed),
+        (6, 5, 1)
+    );
+    assert_eq!(
+        aggregate.failures,
+        vec![(2, "panicked: boom 2".to_string())]
+    );
+    assert_eq!(aggregate.global_skew.count(), 5);
+
+    // Failed jobs still produce well-formed CSV/JSONL rows.
+    let row = report::csv_row(&jobs[2], &outcomes[2]);
+    assert!(row.contains(",failed,"));
+    assert!(row.ends_with("panicked: boom 2"));
+    let json = report::jsonl_row(&jobs[2], &outcomes[2]);
+    assert!(json.contains(r#""status":"failed""#));
+    assert!(json.contains(r#""error":"panicked: boom 2""#));
+
+    // And the remaining completed jobs produce completed rows.
+    assert!(report::csv_row(&jobs[3], &outcomes[3]).contains(",completed,"));
+}

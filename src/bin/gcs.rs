@@ -4,21 +4,23 @@
 //! ```text
 //! gcs bounds        print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
 //! gcs run           simulate an algorithm on a topology and report skews
+//! gcs sweep         run a parameter grid on a parallel worker pool
 //! gcs replay-check  diff two JSONL event logs (determinism check)
 //! gcs lb-global     run the Theorem 7.2 forced-global-skew construction
 //! gcs lb-local      run the Theorem 7.7 forced-local-skew construction
 //! ```
 //!
-//! Run `gcs <command> --help` (or no arguments) for the options.
+//! Run `gcs <command> --help` for each command's options, or `gcs --help`
+//! for this overview.
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use clock_sync::adversary::framed::LocalLowerBound;
 use clock_sync::adversary::shift::GlobalLowerBound;
-use clock_sync::adversary::WavefrontDelay;
 use clock_sync::analysis::{
     diff_streams, ClockTrace, ComplexityReport, InvariantWatchdog, JsonlWriter, MetricsSink,
     SkewObserver, Table, WatchdogTrip,
@@ -26,40 +28,82 @@ use clock_sync::analysis::{
 use clock_sync::core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
-use clock_sync::graph::{topology, Graph, NodeId};
-use clock_sync::sim::{
-    rates, ConstantDelay, DelayModel, DirectionalDelay, Engine, EngineEvent, EventSink,
-    MessageStats, Protocol, UniformDelay,
-};
+use clock_sync::graph::Graph;
+use clock_sync::sim::{DelayModel, Engine, EngineEvent, EventSink, MessageStats, Protocol};
+use clock_sync::sweep::{build_delay, build_rates, parse_topology, report, run_sweep, SweepSpec};
 use clock_sync::time::{DriftBounds, RateSchedule};
 
 const USAGE: &str = "\
 gcs — gradient clock synchronization (Lenzen/Locher/Wattenhofer) toolkit
 
 USAGE:
-    gcs bounds    [--eps E] [--t T] [--d D] [--sigma S]
-    gcs run       [--algo NAME] [--topology SPEC] [--eps E] [--t T]
-                  [--horizon H] [--delays SPEC] [--rates SPEC] [--seed N]
-                  [--trace FILE.csv] [--events FILE.jsonl] [--metrics]
-                  [--watchdog] [--kappa-factor F]
-    gcs replay-check FILE1.jsonl FILE2.jsonl
-    gcs lb-global [--d D] [--eps E] [--t T] [--t-hat TH]
-    gcs lb-local  [--b B] [--stages S] [--eps E] [--t T] [--algo NAME]
+    gcs <command> [options]
 
-ALGORITHMS (--algo):
+COMMANDS:
+    bounds        print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
+    run           simulate one algorithm on one topology and report skews
+    sweep         run a parameter grid on a parallel worker pool
+    replay-check  diff two JSONL event logs (determinism check)
+    lb-global     run the Theorem 7.2 forced-global-skew construction
+    lb-local      run the Theorem 7.7 forced-local-skew construction
+
+Run `gcs <command> --help` for the options of one command.
+
+ALGORITHMS (--algo / --algos):
     aopt (default) | jump | mingap | envelope | max | midpoint | nosync
 
-TOPOLOGIES (--topology):
-    path:N | ring:N | grid:WxH | tree:N | star:N | hypercube:DIM
-    er:N:P (Erdős–Rényi) | geo:N:R (random geometric)     default: path:16
+TOPOLOGIES (--topology / --topologies):
+    path:N | ring:N | grid:WxH | torus:WxH | tree:N | star:N | complete:N
+    hypercube:DIM | er:N:P (Erdős–Rényi) | geo:N:R (random geometric)
 
 DELAYS (--delays):
-    uniform (default) | const | zero | directional | wavefront:BOUNDARY
+    uniform (default) | const | zero | directional | wavefront[:BOUNDARY]
 
 RATES (--rates):
-    walk (default) | split | alternating:PERIOD | gradient | nominal
+    walk (default) | split | distsplit | alternating[:PERIOD] | gradient
+    | nominal
 
-OBSERVABILITY (gcs run):
+EXAMPLES:
+    gcs bounds --eps 1e-4 --t 0.001 --d 30
+    gcs run --topology grid:6x6 --delays uniform --rates walk --horizon 200
+    gcs sweep --topologies path:9,path:17 --seeds 8 --jobs 4 --csv out.csv
+    gcs replay-check a.jsonl b.jsonl
+    gcs lb-global --d 16 --eps 0.05 --t 0.5 --t-hat 1.0
+";
+
+const BOUNDS_USAGE: &str = "\
+gcs bounds — print A^opt parameters and skew bounds
+
+USAGE:
+    gcs bounds [--eps E] [--t T] [--d D] [--sigma S]
+
+OPTIONS:
+    --eps E     hardware drift bound ε̂          (default 1e-3)
+    --t T       message delay bound 𝒯̂           (default 0.01)
+    --d D       network diameter D              (default 32)
+    --sigma S   force the log base σ instead of Eq. (6)'s recommendation
+";
+
+const RUN_USAGE: &str = "\
+gcs run — simulate one algorithm on one topology and report skews
+
+USAGE:
+    gcs run [--algo NAME] [--topology SPEC] [--eps E] [--t T]
+            [--horizon H] [--delays SPEC] [--rates SPEC] [--seed N]
+            [--trace FILE.csv] [--events FILE.jsonl] [--metrics]
+            [--watchdog] [--kappa-factor F]
+
+OPTIONS:
+    --algo NAME          aopt|jump|mingap|envelope|max|midpoint|nosync
+    --topology SPEC      e.g. path:16, grid:6x6, er:40:0.08  (default path:16)
+    --eps E              drift bound ε̂                        (default 1e-2)
+    --t T                delay bound 𝒯̂                        (default 0.1)
+    --horizon H          real-time horizon                    (default 120)
+    --delays SPEC        uniform|const|zero|directional|wavefront[:B]
+    --rates SPEC         walk|split|distsplit|alternating[:P]|gradient|nominal
+    --seed N             seed for random topology/delays/rates (default 42)
+
+OBSERVABILITY:
     --trace FILE.csv     sampled clock trajectories (plotting)
     --events FILE.jsonl  complete engine event log, one JSON object per line;
                          byte-identical across same-seed runs (replay-check)
@@ -69,16 +113,99 @@ OBSERVABILITY (gcs run):
     --kappa-factor F     scale κ by F, bypassing the Eq. (4) validation
                          (with F < 1 and --watchdog: demonstrates the
                          invariant violation the paper predicts)
+";
+
+const SWEEP_USAGE: &str = "\
+gcs sweep — run a parameter grid on a parallel worker pool
+
+The grid is the cross product of all axes; each combination is one
+independent job with a fresh engine and observability stack. Jobs run on a
+worker pool with per-job panic isolation; results are aggregated and
+emitted in deterministic job order, so CSV/JSONL output is byte-identical
+at any --jobs value.
+
+USAGE:
+    gcs sweep [--spec FILE] [--topologies LIST] [--algos LIST] [--eps LIST]
+              [--t LIST] [--sigma LIST] [--delays LIST] [--rates LIST]
+              [--seeds N | A..B] [--horizon H] [--horizon-per-d X]
+              [--watchdog] [--jobs N] [--dry-run]
+              [--csv FILE] [--jsonl FILE]
+
+AXES (comma-separated lists; defaults in parentheses):
+    --topologies LIST    topology specs            (path:16)
+    --algos LIST         algorithm names           (aopt)
+    --eps LIST           drift bounds ε̂            (0.01)
+    --t LIST             delay bounds 𝒯̂            (0.1)
+    --sigma LIST         σ values or `recommended` (recommended)
+    --delays LIST        delay-model specs         (uniform)
+    --rates LIST         rate-schedule specs       (walk)
+    --seeds N | A..B     seed count or range       (0..1)
+    --horizon H          base horizon per job      (60)
+    --horizon-per-d X    extra horizon per D·𝒯̂     (0)
+    --watchdog           attach the invariant watchdog to every job
+
+EXECUTION:
+    --spec FILE          read axes from a `key = value` spec file first;
+                         explicit flags override file entries
+    --jobs N             worker threads (default: available parallelism)
+    --dry-run            enumerate the expanded jobs without running them
+    --csv FILE           write one CSV row per job, in job order
+    --jsonl FILE         write one JSON line per job plus a final summary
+                         line, in job order (replay-check-able)
 
 EXAMPLES:
-    gcs bounds --eps 1e-4 --t 0.001 --d 30
-    gcs run --topology grid:6x6 --delays uniform --rates walk --horizon 200
-    gcs run --algo aopt --topology path:16 --events out.jsonl --metrics
-    gcs run --algo aopt --watchdog --kappa-factor 0.05 --rates split
-    gcs replay-check a.jsonl b.jsonl
-    gcs lb-global --d 16 --eps 0.05 --t 0.5 --t-hat 1.0
-    gcs lb-local --b 5 --stages 2 --eps 0.2 --algo nosync
+    gcs sweep --topologies path:9,path:17,path:33 --eps 0.02 --t 0.25 \\
+              --delays directional --rates distsplit --seeds 4 --jobs 8
+    gcs sweep --spec examples/sweeps/f4.sweep --csv f4.csv --jsonl f4.jsonl
+    gcs sweep --topologies er:24:0.2 --seeds 0..32 --dry-run
 ";
+
+const REPLAY_USAGE: &str = "\
+gcs replay-check — diff two JSONL logs (determinism check)
+
+USAGE:
+    gcs replay-check FILE1.jsonl FILE2.jsonl
+
+Compares line-by-line and reports the first divergence. Works on
+`gcs run --events` logs and `gcs sweep --jsonl` outputs alike.
+";
+
+const LB_GLOBAL_USAGE: &str = "\
+gcs lb-global — the Theorem 7.2 forced-global-skew construction
+
+USAGE:
+    gcs lb-global [--d D] [--eps E] [--t T] [--t-hat TH]
+
+OPTIONS:
+    --d D        path diameter                  (default 8)
+    --eps E      drift bound ε̂                  (default 0.05)
+    --t T        true delay bound 𝒯             (default 0.5)
+    --t-hat TH   believed delay bound 𝒯̂         (default 2𝒯)
+";
+
+const LB_LOCAL_USAGE: &str = "\
+gcs lb-local — the Theorem 7.7 forced-local-skew construction
+
+USAGE:
+    gcs lb-local [--b B] [--stages S] [--eps E] [--t T] [--algo NAME]
+
+OPTIONS:
+    --b B         branching factor               (default 4)
+    --stages S    number of amplification stages (default 2)
+    --eps E       drift bound ε̂                  (default 0.2)
+    --t T         delay bound 𝒯                  (default 1.0)
+    --algo NAME   nosync (default) | aopt | jump
+";
+
+/// Every subcommand with its usage text, in help-listing order.
+const COMMANDS: &[(&str, &str)] = &[
+    ("bounds", BOUNDS_USAGE),
+    ("run", RUN_USAGE),
+    ("sweep", SWEEP_USAGE),
+    ("replay-check", REPLAY_USAGE),
+    ("lb-global", LB_GLOBAL_USAGE),
+    ("lb-local", LB_LOCAL_USAGE),
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -86,8 +213,19 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     };
-    if rest.iter().any(|a| a == "--help" || a == "-h") {
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
         print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some((_, usage)) = COMMANDS.iter().find(|(name, _)| name == command) else {
+        let names: Vec<&str> = COMMANDS.iter().map(|(name, _)| *name).collect();
+        eprintln!("error: unknown command `{command}`\n");
+        eprintln!("available commands: {}", names.join(", "));
+        eprintln!("run `gcs <command> --help` for options, or `gcs --help` for the overview.");
+        return ExitCode::FAILURE;
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{usage}");
         return ExitCode::SUCCESS;
     }
     // replay-check takes positional file arguments, not --key value pairs.
@@ -98,20 +236,17 @@ fn main() -> ExitCode {
             Ok(opts) => opts,
             Err(message) => {
                 eprintln!("error: {message}\n");
-                eprint!("{USAGE}");
+                eprint!("{usage}");
                 return ExitCode::FAILURE;
             }
         };
         match command.as_str() {
             "bounds" => cmd_bounds(&opts),
             "run" => cmd_run(&opts),
+            "sweep" => cmd_sweep(&opts),
             "lb-global" => cmd_lb_global(&opts),
             "lb-local" => cmd_lb_local(&opts),
-            "--help" | "-h" | "help" => {
-                print!("{USAGE}");
-                Ok(())
-            }
-            other => Err(format!("unknown command `{other}`")),
+            _ => unreachable!("command membership checked above"),
         }
     };
     match result {
@@ -130,7 +265,7 @@ struct Options {
 
 impl Options {
     /// Options that are pure flags: present or absent, no value.
-    const FLAGS: &'static [&'static str] = &["metrics", "watchdog"];
+    const FLAGS: &'static [&'static str] = &["metrics", "watchdog", "dry-run"];
 
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut values = HashMap::new();
@@ -184,74 +319,6 @@ impl Options {
                 .parse()
                 .map_err(|_| format!("option --{key}: `{v}` is not an integer")),
         }
-    }
-}
-
-fn parse_topology(spec: &str, seed: u64) -> Result<Graph, String> {
-    let mut parts = spec.split(':');
-    let kind = parts.next().unwrap_or_default();
-    let arg = parts.next();
-    let arg2 = parts.next();
-    fn need<'a>(a: Option<&'a str>, spec: &str) -> Result<&'a str, String> {
-        a.ok_or_else(|| format!("topology `{spec}` needs a size"))
-    }
-    let int = |s: &str| {
-        s.parse::<usize>()
-            .map_err(|_| format!("bad size in topology `{spec}`"))
-    };
-    match kind {
-        "path" => Ok(topology::path(int(need(arg, spec)?)?)),
-        "ring" => Ok(topology::cycle(int(need(arg, spec)?)?)),
-        "star" => Ok(topology::star(int(need(arg, spec)?)?)),
-        "tree" => Ok(topology::binary_tree(int(need(arg, spec)?)?)),
-        "hypercube" => Ok(topology::hypercube(int(need(arg, spec)?)?)),
-        "grid" => {
-            let dims = need(arg, spec)?;
-            let (w, h) = dims
-                .split_once('x')
-                .ok_or_else(|| format!("grid needs WxH, got `{dims}`"))?;
-            Ok(topology::grid(int(w)?, int(h)?))
-        }
-        "er" => {
-            let n = int(need(arg, spec)?)?;
-            let p: f64 = need(arg2, spec)?
-                .parse()
-                .map_err(|_| format!("bad probability in `{spec}`"))?;
-            Ok(topology::erdos_renyi(n, p, seed))
-        }
-        "geo" => {
-            let n = int(need(arg, spec)?)?;
-            let r: f64 = need(arg2, spec)?
-                .parse()
-                .map_err(|_| format!("bad radius in `{spec}`"))?;
-            Ok(topology::random_geometric(n, r, seed))
-        }
-        other => Err(format!("unknown topology `{other}`")),
-    }
-}
-
-fn parse_rates(
-    spec: &str,
-    n: usize,
-    drift: DriftBounds,
-    horizon: f64,
-    seed: u64,
-) -> Result<Vec<RateSchedule>, String> {
-    let (kind, arg) = spec.split_once(':').unwrap_or((spec, ""));
-    match kind {
-        "walk" => Ok(rates::random_walk(n, drift, 5.0, horizon, seed)),
-        "split" => Ok(rates::split(n, drift, |v| v < n / 2)),
-        "gradient" => Ok(rates::gradient(n, drift)),
-        "nominal" => Ok(rates::nominal(n)),
-        "alternating" => {
-            let period: f64 = if arg.is_empty() {
-                10.0
-            } else {
-                arg.parse().map_err(|_| format!("bad period `{arg}`"))?
-            };
-            Ok(rates::alternating(n, drift, period, horizon))
-        }
-        other => Err(format!("unknown rates spec `{other}`")),
     }
 }
 
@@ -436,7 +503,6 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let n = graph.len();
     let d = graph.diameter();
     let drift = DriftBounds::new(eps).map_err(|e| e.to_string())?;
-    let schedules = parse_rates(opts.str_or("rates", "walk"), n, drift, horizon, seed)?;
     let mut params = Params::recommended(eps, t).map_err(|e| e.to_string())?;
     if let Some(factor) = opts.values.get("kappa-factor") {
         let factor: f64 = factor
@@ -450,75 +516,27 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         );
     }
     let algo = opts.str_or("algo", "aopt");
+
+    // The sweep crate owns the spec mini-language; `run` is a one-job
+    // sweep with extra observability attached.
+    let (delay, min_horizon) = build_delay(opts.str_or("delays", "uniform"), &graph, t, eps, seed)?;
+    let horizon = horizon.max(min_horizon);
+    let schedules = build_rates(opts.str_or("rates", "walk"), &graph, drift, horizon, seed)?;
     let sinks = RunSinks::new(&graph, horizon, opts, params)?;
 
-    // Delay model selection (monomorphized per arm).
-    macro_rules! dispatch_delay {
-        ($protocols:expr) => {{
-            let delay_spec = opts.str_or("delays", "uniform");
-            let (kind, arg) = delay_spec.split_once(':').unwrap_or((delay_spec, ""));
-            match kind {
-                "uniform" => run_any(
-                    graph.clone(),
-                    $protocols,
-                    UniformDelay::new(t, seed),
-                    schedules.clone(),
-                    horizon,
-                    sinks,
-                )?,
-                "const" => run_any(
-                    graph.clone(),
-                    $protocols,
-                    ConstantDelay::new(t / 2.0),
-                    schedules.clone(),
-                    horizon,
-                    sinks,
-                )?,
-                "zero" => run_any(
-                    graph.clone(),
-                    $protocols,
-                    ConstantDelay::new(0.0),
-                    schedules.clone(),
-                    horizon,
-                    sinks,
-                )?,
-                "directional" => run_any(
-                    graph.clone(),
-                    $protocols,
-                    DirectionalDelay::new(&graph, NodeId(0), 0.0, t),
-                    schedules.clone(),
-                    horizon,
-                    sinks,
-                )?,
-                "wavefront" => {
-                    let boundary: u32 = if arg.is_empty() {
-                        (d / 2).max(1)
-                    } else {
-                        arg.parse().map_err(|_| format!("bad boundary `{arg}`"))?
-                    };
-                    let flip = boundary as f64 * t / (2.0 * eps) + 20.0;
-                    run_any(
-                        graph.clone(),
-                        $protocols,
-                        WavefrontDelay::new(&graph, NodeId(0), t, flip, boundary),
-                        schedules.clone(),
-                        horizon.max(flip + 10.0),
-                        sinks,
-                    )?
-                }
-                other => return Err(format!("unknown delays spec `{other}`")),
-            }
-        }};
+    macro_rules! dispatch {
+        ($protocols:expr) => {
+            run_any(graph.clone(), $protocols, delay, schedules, horizon, sinks)?
+        };
     }
-
     let output = match algo {
-        "aopt" => dispatch_delay!(vec![AOpt::new(params); n]),
-        "jump" => dispatch_delay!(vec![AOptJump::new(params); n]),
-        "mingap" => dispatch_delay!(vec![MinGapAOpt::new(params); n]),
-        "envelope" => dispatch_delay!(vec![EnvelopeAOpt::new(params); n]),
-        "max" => dispatch_delay!(vec![MaxAlgorithm::new(1.0); n]),
-        "midpoint" => dispatch_delay!(vec![MidpointAlgorithm::new(params.h0(), params.mu()); n]),
-        "nosync" => dispatch_delay!(vec![NoSync; n]),
+        "aopt" => dispatch!(vec![AOpt::new(params); n]),
+        "jump" => dispatch!(vec![AOptJump::new(params); n]),
+        "mingap" => dispatch!(vec![MinGapAOpt::new(params); n]),
+        "envelope" => dispatch!(vec![EnvelopeAOpt::new(params); n]),
+        "max" => dispatch!(vec![MaxAlgorithm::new(1.0); n]),
+        "midpoint" => dispatch!(vec![MidpointAlgorithm::new(params.h0(), params.mu()); n]),
+        "nosync" => dispatch!(vec![NoSync; n]),
         other => return Err(format!("unknown algorithm `{other}`")),
     };
     let observer = &output.observer;
@@ -589,6 +607,139 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     }
 }
 
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let mut spec = match opts.values.get("spec") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec file {path}: {e}"))?;
+            SweepSpec::parse_str(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => SweepSpec::default(),
+    };
+    // Explicit flags override spec-file entries; flag names are the spec
+    // keys (see `SweepSpec::apply`).
+    for key in [
+        "topologies",
+        "algos",
+        "eps",
+        "t",
+        "sigma",
+        "delays",
+        "rates",
+        "seeds",
+        "horizon",
+        "horizon-per-d",
+    ] {
+        if let Some(value) = opts.values.get(key) {
+            spec.apply(key, value)?;
+        }
+    }
+    if opts.flag("watchdog") {
+        spec.watchdog = true;
+    }
+    spec.validate()?;
+    let jobs = spec.expand();
+    let default_workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let workers = opts.usize_or("jobs", default_workers)?.max(1);
+
+    if opts.flag("dry-run") {
+        let mut table = Table::new(vec![
+            "job", "topology", "algo", "eps", "t", "sigma", "delay", "rates", "seed",
+        ]);
+        for job in &jobs {
+            table.row(vec![
+                job.index.to_string(),
+                job.topology.clone(),
+                job.algo.clone(),
+                job.eps.to_string(),
+                job.t.to_string(),
+                job.sigma.map_or_else(|| "rec".into(), |s| s.to_string()),
+                job.delay.clone(),
+                job.rates.clone(),
+                job.seed.to_string(),
+            ]);
+        }
+        println!("{table}");
+        println!("{} jobs (dry run; would use {workers} workers)", jobs.len());
+        return Ok(());
+    }
+
+    let open = |key: &str| -> Result<Option<BufWriter<File>>, String> {
+        match opts.values.get(key) {
+            Some(path) => File::create(path)
+                .map(|f| Some(BufWriter::new(f)))
+                .map_err(|e| format!("cannot create {path}: {e}")),
+            None => Ok(None),
+        }
+    };
+    let mut csv = open("csv")?;
+    let mut jsonl = open("jsonl")?;
+    let mut io_error: Option<String> = None;
+    if let Some(w) = csv.as_mut() {
+        if let Err(e) = writeln!(w, "{}", report::CSV_HEADER) {
+            io_error = Some(format!("csv write failed: {e}"));
+        }
+    }
+
+    println!(
+        "sweep: {} jobs on {workers} worker{}",
+        jobs.len(),
+        if workers == 1 { "" } else { "s" }
+    );
+    let started = Instant::now();
+    let (_, aggregate) = run_sweep(&jobs, workers, |job, outcome| {
+        if let Some(w) = csv.as_mut() {
+            if let Err(e) = writeln!(w, "{}", report::csv_row(job, outcome)) {
+                io_error.get_or_insert(format!("csv write failed: {e}"));
+            }
+        }
+        if let Some(w) = jsonl.as_mut() {
+            if let Err(e) = writeln!(w, "{}", report::jsonl_row(job, outcome)) {
+                io_error.get_or_insert(format!("jsonl write failed: {e}"));
+            }
+        }
+    });
+    let elapsed = started.elapsed();
+    if let Some(w) = jsonl.as_mut() {
+        if let Err(e) = writeln!(w, "{}", report::jsonl_summary(&aggregate)) {
+            io_error.get_or_insert(format!("jsonl write failed: {e}"));
+        }
+    }
+    for (name, writer) in [("csv", csv), ("jsonl", jsonl)] {
+        if let Some(mut w) = writer {
+            if let Err(e) = w.flush() {
+                io_error.get_or_insert(format!("{name} flush failed: {e}"));
+            }
+        }
+    }
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+
+    println!(
+        "completed {} / failed {} / watchdog trips {} in {:.2?}\n",
+        aggregate.completed, aggregate.failed, aggregate.watchdog_trips, elapsed
+    );
+    println!("{}", aggregate.render_table());
+    if let Some(path) = opts.values.get("csv") {
+        println!("per-job CSV written to {path}");
+    }
+    if let Some(path) = opts.values.get("jsonl") {
+        println!("per-job JSONL written to {path}");
+    }
+    if aggregate.failed > 0 {
+        for (index, message) in &aggregate.failures {
+            eprintln!("job {}: {message}", jobs[*index].label());
+        }
+        return Err(format!(
+            "{} of {} jobs failed",
+            aggregate.failed,
+            jobs.len()
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_replay_check(args: &[String]) -> Result<(), String> {
     let [left, right] = args else {
         return Err("replay-check needs exactly two event-log paths".to_string());
@@ -625,7 +776,14 @@ fn cmd_lb_global(opts: &Options) -> Result<(), String> {
     let eps = opts.f64_or("eps", 0.05)?;
     let t = opts.f64_or("t", 0.5)?;
     let t_hat = opts.f64_or("t-hat", 2.0 * t)?;
-    let lb = GlobalLowerBound::new(topology::path(d + 1), eps, eps, t, t_hat, eps / 5.0);
+    let lb = GlobalLowerBound::new(
+        clock_sync::graph::topology::path(d + 1),
+        eps,
+        eps,
+        t,
+        t_hat,
+        eps / 5.0,
+    );
     let params = Params::recommended(eps, t_hat).map_err(|e| e.to_string())?;
     let (reports, indistinguishable) =
         lb.verify_indistinguishable(|| vec![AOpt::new(params); d + 1]);

@@ -10,6 +10,7 @@
 //! * [`core`] — the `A^opt` algorithm, its variants, and baselines.
 //! * [`adversary`] — the paper's worst-case execution constructions.
 //! * [`analysis`] — skew traces, legal-state checking, accounting.
+//! * [`sweep`] — the parallel, deterministic experiment-sweep orchestrator.
 
 #![forbid(unsafe_code)]
 
@@ -18,4 +19,5 @@ pub use gcs_analysis as analysis;
 pub use gcs_core as core;
 pub use gcs_graph as graph;
 pub use gcs_sim as sim;
+pub use gcs_sweep as sweep;
 pub use gcs_time as time;
