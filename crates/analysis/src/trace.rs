@@ -49,6 +49,8 @@ pub struct SkewObserver {
     worst_local: f64,
     worst_global_at: f64,
     worst_local_at: f64,
+    worst_global_pair: (usize, usize),
+    worst_local_pair: (usize, usize),
     series_interval: Option<f64>,
     next_sample_at: f64,
     series: Vec<SkewSample>,
@@ -64,6 +66,8 @@ impl SkewObserver {
             worst_local: 0.0,
             worst_global_at: 0.0,
             worst_local_at: 0.0,
+            worst_global_pair: (0, 0),
+            worst_local_pair: (0, 0),
             series_interval: None,
             next_sample_at: 0.0,
             series: Vec::new(),
@@ -94,22 +98,41 @@ impl SkewObserver {
         self.observations += 1;
         let mut max = f64::MIN;
         let mut min = f64::MAX;
-        for &c in clocks {
-            max = max.max(c);
-            min = min.min(c);
+        let mut argmax = 0;
+        let mut argmin = 0;
+        for (i, &c) in clocks.iter().enumerate() {
+            if c > max {
+                max = c;
+                argmax = i;
+            }
+            if c < min {
+                min = c;
+                argmin = i;
+            }
         }
         let global = max - min;
         let mut local: f64 = 0.0;
+        let mut local_pair = (0, 0);
         for &(a, b) in &self.edges {
-            local = local.max((clocks[a] - clocks[b]).abs());
+            let skew = (clocks[a] - clocks[b]).abs();
+            if skew > local {
+                local = skew;
+                local_pair = if clocks[a] >= clocks[b] {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+            }
         }
         if global > self.worst_global {
             self.worst_global = global;
             self.worst_global_at = t;
+            self.worst_global_pair = (argmax, argmin);
         }
         if local > self.worst_local {
             self.worst_local = local;
             self.worst_local_at = t;
+            self.worst_local_pair = local_pair;
         }
         if let Some(interval) = self.series_interval {
             if t >= self.next_sample_at {
@@ -137,6 +160,18 @@ impl SkewObserver {
     /// When the worst local skew occurred.
     pub fn worst_local_at(&self) -> f64 {
         self.worst_local_at
+    }
+
+    /// The `(argmax, argmin)` node pair attaining the worst global skew
+    /// (`(0, 0)` before any observation).
+    pub fn worst_global_pair(&self) -> (usize, usize) {
+        self.worst_global_pair
+    }
+
+    /// The `(ahead, behind)` edge attaining the worst local skew
+    /// (`(0, 0)` before any observation).
+    pub fn worst_local_pair(&self) -> (usize, usize) {
+        self.worst_local_pair
     }
 
     /// The decimated time series (empty unless enabled).
@@ -195,6 +230,9 @@ mod tests {
         assert!((obs.worst_global() - 2.0).abs() < 1e-9); // 0.2/s for 10s
         assert!((obs.worst_local() - 1.0).abs() < 1e-9); // 0.1/s per edge
         assert!((obs.worst_global_at() - 10.0).abs() < 1e-9);
+        assert_eq!(obs.worst_global_pair(), (0, 2), "fastest vs slowest");
+        let (ahead, behind) = obs.worst_local_pair();
+        assert!(ahead < behind, "earlier node drifts ahead on this path");
         assert!(!obs.series().is_empty());
         let last = obs.series().last().unwrap();
         assert!(last.global <= obs.worst_global() + 1e-12);

@@ -8,8 +8,9 @@
 //! indistinguishable (≤ ~1% apart), and the figure for the heavier sinks
 //! tells you what `--events`/`--metrics` actually costs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{BatchSize, Criterion};
 use gcs_analysis::{JsonlWriter, MetricsSink};
+use gcs_bench::BenchReport;
 use gcs_core::{AOpt, Params};
 use gcs_graph::topology;
 use gcs_sim::{Engine, EventSink, NullSink, UniformDelay};
@@ -92,5 +93,48 @@ fn observer_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, observer_overhead);
-criterion_main!(benches);
+// A hand-written main instead of `criterion_main!`: after the group runs,
+// drain the measurements and export them as BENCH_observer_overhead.json
+// so the observability layer's cost is tracked commit over commit.
+fn main() {
+    let mut criterion = Criterion::default();
+    observer_overhead(&mut criterion);
+
+    let results = criterion.take_results();
+    let mut report = BenchReport::new("observer_overhead");
+    report
+        .config("topology", format!("path:{N}"))
+        .config("horizon", HORIZON)
+        .config("eps", 0.02)
+        .config("t", 0.25);
+    let mut baseline = None;
+    for r in &results {
+        report.metric(
+            &format!(
+                "median_seconds/{}",
+                r.id.rsplit('/').next().unwrap_or(&r.id)
+            ),
+            r.median.as_secs_f64(),
+        );
+        if r.id.ends_with("baseline_default") {
+            baseline = Some(r.median.as_secs_f64());
+        }
+    }
+    if let Some(baseline) = baseline.filter(|b| *b > 0.0) {
+        for r in &results {
+            if !r.id.ends_with("baseline_default") {
+                report.metric(
+                    &format!(
+                        "overhead_ratio/{}",
+                        r.id.rsplit('/').next().unwrap_or(&r.id)
+                    ),
+                    r.median.as_secs_f64() / baseline,
+                );
+            }
+        }
+    }
+    match report.write() {
+        Ok(path) => println!("machine-readable results written to {path}"),
+        Err(e) => eprintln!("warning: could not write bench results: {e}"),
+    }
+}

@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use gcs_analysis::Table;
-use gcs_bench::{banner, f2};
+use gcs_bench::{banner, f2, BenchReport};
 use gcs_sweep::{report, run_sweep, SweepSpec};
 
 /// Runs the sweep at the given worker count, returning the concatenated
@@ -59,6 +59,15 @@ fn main() {
     let (reference, _, count) = run_at(&spec, 1);
     assert_eq!(count, 256, "the scaling sweep must expand to 256 jobs");
 
+    let mut results = BenchReport::new("sweep_scaling");
+    results
+        .config("jobs", count)
+        .config("topologies", spec.topologies.join(","))
+        .config("eps", "0.01,0.02")
+        .config("seeds", "0..32")
+        .config("horizon", spec.horizon)
+        .config("host_cores", cores);
+
     let mut table = Table::new(vec!["workers", "wall clock", "speedup", "output"]);
     let mut baseline = Duration::ZERO;
     let mut speedup_at_8 = 0.0;
@@ -76,6 +85,11 @@ fn main() {
         if workers == 8 {
             speedup_at_8 = speedup;
         }
+        results.metric(
+            &format!("wall_seconds/workers={workers}"),
+            elapsed.as_secs_f64(),
+        );
+        results.metric(&format!("speedup/workers={workers}"), speedup);
         table.row(vec![
             workers.to_string(),
             format!("{elapsed:.2?}"),
@@ -84,6 +98,11 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    match results.write() {
+        Ok(path) => println!("machine-readable results written to {path}"),
+        Err(e) => eprintln!("warning: could not write bench results: {e}"),
+    }
 
     if cores >= 8 {
         assert!(

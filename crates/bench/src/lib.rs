@@ -7,6 +7,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod results;
+
+pub use results::BenchReport;
+
 use gcs_analysis::SkewObserver;
 use gcs_core::{AOpt, Params};
 use gcs_graph::Graph;

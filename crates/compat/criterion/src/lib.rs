@@ -76,24 +76,46 @@ impl Bencher {
     }
 }
 
-fn run_one(id: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(id: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) -> Option<Duration> {
     let mut bencher = Bencher::new(sample_count);
     f(&mut bencher);
     match bencher.median() {
-        Some(median) => println!("bench {id:<40} median {median:>12.3?} ({sample_count} samples)"),
-        None => println!("bench {id:<40} (no samples)"),
+        Some(median) => {
+            println!("bench {id:<40} median {median:>12.3?} ({sample_count} samples)");
+            Some(median)
+        }
+        None => {
+            println!("bench {id:<40} (no samples)");
+            None
+        }
     }
+}
+
+/// One completed measurement (an offline extension — real criterion
+/// persists results under `target/criterion` instead of exposing them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` for grouped benches).
+    pub id: String,
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Samples taken.
+    pub samples: usize,
 }
 
 /// Entry point mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_count: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Modest default so `cargo bench` stays quick without statistics.
-        Criterion { sample_count: 15 }
+        Criterion {
+            sample_count: 15,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -106,9 +128,27 @@ impl Criterion {
         self
     }
 
+    /// Drains the measurements recorded so far, in run order. Lets a bench
+    /// with a hand-written `main` export machine-readable results (e.g.
+    /// `BENCH_*.json`) after running its groups.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn record(&mut self, id: &str, samples: usize, median: Option<Duration>) {
+        if let Some(median) = median {
+            self.results.push(BenchResult {
+                id: id.to_string(),
+                median,
+                samples,
+            });
+        }
+    }
+
     /// Runs one benchmark.
     pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(id, self.sample_count, &mut f);
+        let median = run_one(id, self.sample_count, &mut f);
+        self.record(id, self.sample_count, median);
         self
     }
 
@@ -145,7 +185,8 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         let id = format!("{}/{}", self.name, id);
         let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
-        run_one(&id, samples, &mut f);
+        let median = run_one(&id, samples, &mut f);
+        self.criterion.record(&id, samples, median);
         self
     }
 
@@ -195,6 +236,11 @@ mod tests {
             })
         });
         assert_eq!(count, 3);
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "counter");
+        assert_eq!(results[0].samples, 3);
+        assert!(c.take_results().is_empty(), "take_results drains");
     }
 
     #[test]

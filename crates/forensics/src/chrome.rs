@@ -1,0 +1,251 @@
+//! Chrome trace-event export — the `gcs trace export --chrome` backend.
+//!
+//! Produces the JSON Object Format of the Trace Event specification
+//! (also understood by Perfetto's `ui.perfetto.dev`): a `traceEvents`
+//! array inside a top-level object. The mapping, specified in
+//! `docs/TRACE_FORMAT.md`:
+//!
+//! * one process (`pid` 0) per execution, one thread (`tid` = node id)
+//!   per node, named via `M` metadata records;
+//! * instant events (`ph: "i"`, thread scope) for `wake`, `send`,
+//!   `deliver`, `timer_fire`, and `drop`;
+//! * counter events (`ph: "C"`) tracking each node's logical multiplier
+//!   and hardware rate as step functions;
+//! * async begin/end pairs (`ph: "b"` / `"e"`, category `msg`) spanning
+//!   transmit → deliver for every *matched* message, drawn from the
+//!   sender's track to the receiver's.
+//!
+//! Timestamps are microseconds (`ts = t × 10⁶`), the unit the format
+//! requires. Event order follows the stream, so exports are
+//! deterministic for a fixed input.
+
+use crate::dag::Dag;
+use gcs_sim::EngineEvent;
+
+/// Renders a reconstructed DAG as Chrome trace-event JSON.
+pub fn export_chrome(dag: &Dag) -> String {
+    let mut records: Vec<String> = Vec::new();
+    records.push(
+        r#"{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"gcs execution"}}"#
+            .to_string(),
+    );
+    for node in 0..dag.node_count() {
+        records.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{node},"args":{{"name":"node {node}"}}}}"#
+        ));
+    }
+
+    // Message spans: async begin on the sender's track at transmit time,
+    // async end on the receiver's track at delivery. The per-message id
+    // keeps concurrent spans on the same channel distinct.
+    let span_ends: Vec<Option<(usize, String)>> = dag
+        .messages()
+        .iter()
+        .enumerate()
+        .map(|(id, msg)| {
+            msg.deliver.map(|deliver| {
+                (
+                    deliver,
+                    format!(
+                        r#"{{"name":"{src}->{dst}","cat":"msg","ph":"e","id":{id},"pid":0,"tid":{dst},"ts":{ts}}}"#,
+                        src = msg.src.0,
+                        dst = msg.dst.0,
+                        ts = micros(msg.delivered_t.expect("deliver end has a time")),
+                    ),
+                )
+            })
+        })
+        .collect();
+    let mut ends_by_event: std::collections::HashMap<usize, &str> = span_ends
+        .iter()
+        .flatten()
+        .map(|(deliver, record)| (*deliver, record.as_str()))
+        .collect();
+
+    let mut next_msg = 0usize; // messages are stored in transmit order
+    for (i, event) in dag.events().iter().enumerate() {
+        match *event {
+            EngineEvent::Wake { node, t, .. } => {
+                records.push(instant("wake", node.0, t));
+            }
+            EngineEvent::Send { node, t, .. } => {
+                records.push(instant("send", node.0, t));
+            }
+            EngineEvent::Transmit { src, dst, t, .. } => {
+                let msg_id = next_msg;
+                next_msg += 1;
+                if span_ends[msg_id].is_some() {
+                    records.push(format!(
+                        r#"{{"name":"{src}->{dst}","cat":"msg","ph":"b","id":{msg_id},"pid":0,"tid":{src},"ts":{ts}}}"#,
+                        src = src.0,
+                        dst = dst.0,
+                        ts = micros(t),
+                    ));
+                }
+            }
+            EngineEvent::Drop { src, t, .. } => {
+                records.push(instant("drop", src.0, t));
+            }
+            EngineEvent::Deliver { dst, t, .. } => {
+                records.push(instant("deliver", dst.0, t));
+                if let Some(end) = ends_by_event.remove(&i) {
+                    records.push(end.to_string());
+                }
+            }
+            EngineEvent::TimerFire { node, t, .. } => {
+                records.push(instant("timer_fire", node.0, t));
+            }
+            EngineEvent::RateStep { node, t, rate } => {
+                records.push(counter("rate", node.0, t, rate));
+            }
+            EngineEvent::MultiplierChange {
+                node,
+                t,
+                multiplier,
+            } => {
+                records.push(counter("multiplier", node.0, t, multiplier));
+            }
+            EngineEvent::TimerSet { .. } | EngineEvent::TimerCancel { .. } => {}
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, record) in records.iter().enumerate() {
+        out.push_str(record);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn micros(t: f64) -> f64 {
+    t * 1e6
+}
+
+fn instant(name: &str, tid: usize, t: f64) -> String {
+    format!(
+        r#"{{"name":"{name}","ph":"i","s":"t","pid":0,"tid":{tid},"ts":{ts}}}"#,
+        ts = micros(t),
+    )
+}
+
+fn counter(name: &str, tid: usize, t: f64, value: f64) -> String {
+    // One counter track per node: distinct names keep Perfetto from
+    // merging all nodes into a single series.
+    format!(
+        r#"{{"name":"{name}.v{tid}","ph":"C","pid":0,"tid":{tid},"ts":{ts},"args":{{"{name}":{value}}}}}"#,
+        ts = micros(t),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use gcs_graph::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn exports_valid_trace_event_json() {
+        let events = vec![
+            EngineEvent::Wake {
+                node: n(0),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Wake {
+                node: n(1),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Send {
+                node: n(0),
+                t: 1.0,
+                hw: 1.0,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 1.0,
+                delay: Some(0.5),
+            },
+            EngineEvent::Deliver {
+                src: n(0),
+                dst: n(1),
+                t: 1.5,
+                dst_hw: 1.5,
+            },
+            EngineEvent::MultiplierChange {
+                node: n(1),
+                t: 1.5,
+                multiplier: 1.25,
+            },
+            EngineEvent::RateStep {
+                node: n(0),
+                t: 2.0,
+                rate: 0.99,
+            },
+        ];
+        let out = export_chrome(&Dag::from_events(events));
+        let value = parse(&out).expect("export must be valid JSON");
+        let trace = value.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(trace.len() >= 10, "metadata + events, got {}", trace.len());
+
+        let phases: Vec<&str> = trace
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert!(phases.contains(&"M"), "process/thread metadata");
+        assert!(phases.contains(&"i"), "instants");
+        assert!(phases.contains(&"C"), "counters");
+        assert!(phases.contains(&"b") && phases.contains(&"e"), "msg span");
+
+        // The span's begin sits on the sender track, the end on the
+        // receiver's, sharing an id.
+        let begin = trace
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("b"))
+            .unwrap();
+        let end = trace
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("e"))
+            .unwrap();
+        assert_eq!(begin.get("tid").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(end.get("tid").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            begin.get("id").and_then(Json::as_f64),
+            end.get("id").and_then(Json::as_f64)
+        );
+        // Timestamps are microseconds.
+        assert_eq!(end.get("ts").and_then(Json::as_f64), Some(1.5e6));
+    }
+
+    #[test]
+    fn undelivered_messages_get_no_dangling_span() {
+        let events = vec![
+            EngineEvent::Send {
+                node: n(0),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 0.0,
+                delay: Some(9.0),
+            },
+        ];
+        let out = export_chrome(&Dag::from_events(events));
+        let value = parse(&out).unwrap();
+        let trace = value.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(trace
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) != Some("b")));
+    }
+}

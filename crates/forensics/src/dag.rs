@@ -1,0 +1,420 @@
+//! Happened-before DAG reconstruction.
+//!
+//! Events in a recorded stream are related two ways:
+//!
+//! * **Program order** — events at the same node, in stream order (the
+//!   stream is globally time-ordered with deterministic ties, so the
+//!   per-node subsequence is that node's execution order).
+//! * **Message causality** — `send → transmit → deliver`. A `transmit`
+//!   belongs to the most recent `send` at its source (the engine emits
+//!   the per-neighbor transmits directly after the send, at the same
+//!   instant). A `deliver` on channel `(src, dst)` is matched to the
+//!   outstanding `transmit` whose predicted arrival `t + delay` agrees
+//!   with the delivery time; if none predicts it (hardware-targeted
+//!   transmits record `delay: null`), FIFO order is used — delays in this
+//!   engine never reorder a channel. `drop` events are terminal: the
+//!   engine emits them *instead of* a transmit, so they never join a
+//!   message chain.
+
+use gcs_graph::NodeId;
+use gcs_sim::EngineEvent;
+
+/// Index of an event in the parsed stream.
+pub type EventId = usize;
+
+/// One matched message: its transmit, and the send / deliver ends when
+/// they were found in the stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Message {
+    /// The `send` event that produced this transmit, if present.
+    pub send: Option<EventId>,
+    /// The `transmit` event.
+    pub transmit: EventId,
+    /// The matched `deliver` event; `None` while still in flight at the
+    /// end of the stream.
+    pub deliver: Option<EventId>,
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Real time the message left `src`.
+    pub sent_t: f64,
+    /// Real time it arrived, if it did.
+    pub delivered_t: Option<f64>,
+}
+
+impl Message {
+    /// Measured channel latency, when both ends are known.
+    pub fn latency(&self) -> Option<f64> {
+        self.delivered_t.map(|d| d - self.sent_t)
+    }
+}
+
+/// The reconstructed happened-before DAG over a parsed stream.
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    events: Vec<EngineEvent>,
+    /// Program-order predecessor of each event (same node).
+    prev_same_node: Vec<Option<EventId>>,
+    /// Cross-node causal predecessor: deliver → transmit → send.
+    cause: Vec<Option<EventId>>,
+    /// Event indices per node, in stream order.
+    node_events: Vec<Vec<EventId>>,
+    messages: Vec<Message>,
+    /// messages[...] index for each deliver/transmit event.
+    message_of: Vec<Option<usize>>,
+    /// Dropped (src, dst, t) records, in stream order.
+    drops: Vec<(NodeId, NodeId, f64)>,
+    /// Undirected communication edges observed in the stream, sorted.
+    edges: Vec<(usize, usize)>,
+}
+
+/// The node whose program order an event belongs to.
+pub fn event_node(event: &EngineEvent) -> NodeId {
+    match *event {
+        EngineEvent::Wake { node, .. }
+        | EngineEvent::Send { node, .. }
+        | EngineEvent::TimerSet { node, .. }
+        | EngineEvent::TimerCancel { node, .. }
+        | EngineEvent::TimerFire { node, .. }
+        | EngineEvent::RateStep { node, .. }
+        | EngineEvent::MultiplierChange { node, .. } => node,
+        EngineEvent::Transmit { src, .. } | EngineEvent::Drop { src, .. } => src,
+        EngineEvent::Deliver { dst, .. } => dst,
+    }
+}
+
+impl Dag {
+    /// Builds the DAG from a stream in recorded order.
+    pub fn from_events(events: Vec<EngineEvent>) -> Self {
+        let count = events.len();
+        let mut prev_same_node = vec![None; count];
+        let mut cause = vec![None; count];
+        let mut message_of = vec![None; count];
+        let mut node_events: Vec<Vec<EventId>> = Vec::new();
+        let mut last_at_node: Vec<Option<EventId>> = Vec::new();
+        let mut last_send_at: Vec<Option<EventId>> = Vec::new();
+        let mut messages: Vec<Message> = Vec::new();
+        let mut drops = Vec::new();
+        let mut edge_set: Vec<(usize, usize)> = Vec::new();
+        // Outstanding message indices per directed channel, FIFO.
+        let mut in_flight: std::collections::HashMap<(usize, usize), Vec<usize>> =
+            std::collections::HashMap::new();
+
+        for (i, event) in events.iter().enumerate() {
+            let node = event_node(event);
+            if node.0 >= node_events.len() {
+                node_events.resize(node.0 + 1, Vec::new());
+                last_at_node.resize(node.0 + 1, None);
+                last_send_at.resize(node.0 + 1, None);
+            }
+            prev_same_node[i] = last_at_node[node.0];
+            last_at_node[node.0] = Some(i);
+            node_events[node.0].push(i);
+
+            match *event {
+                EngineEvent::Send { node, .. } => {
+                    last_send_at[node.0] = Some(i);
+                }
+                EngineEvent::Transmit { src, dst, t, .. } => {
+                    let send = last_send_at[src.0];
+                    cause[i] = send;
+                    let msg = Message {
+                        send,
+                        transmit: i,
+                        deliver: None,
+                        src,
+                        dst,
+                        sent_t: t,
+                        delivered_t: None,
+                    };
+                    message_of[i] = Some(messages.len());
+                    in_flight
+                        .entry((src.0, dst.0))
+                        .or_default()
+                        .push(messages.len());
+                    messages.push(msg);
+                    note_edge(&mut edge_set, src, dst);
+                }
+                EngineEvent::Drop { src, dst, t } => {
+                    cause[i] = last_send_at[src.0];
+                    drops.push((src, dst, t));
+                    note_edge(&mut edge_set, src, dst);
+                }
+                EngineEvent::Deliver { src, dst, t, .. } => {
+                    let queue = in_flight.entry((src.0, dst.0)).or_default();
+                    // Prefer the outstanding transmit whose recorded delay
+                    // predicts this arrival; fall back to FIFO.
+                    let pos = queue
+                        .iter()
+                        .position(|&m| {
+                            let tx = messages[m].transmit;
+                            match events[tx] {
+                                EngineEvent::Transmit {
+                                    delay: Some(d),
+                                    t: sent,
+                                    ..
+                                } => (sent + d - t).abs() <= arrival_tolerance(t),
+                                _ => false,
+                            }
+                        })
+                        .unwrap_or(0);
+                    if pos < queue.len() {
+                        let m = queue.remove(pos);
+                        messages[m].deliver = Some(i);
+                        messages[m].delivered_t = Some(t);
+                        cause[i] = Some(messages[m].transmit);
+                        message_of[i] = Some(m);
+                    }
+                    note_edge(&mut edge_set, src, dst);
+                }
+                _ => {}
+            }
+        }
+
+        edge_set.sort_unstable();
+        edge_set.dedup();
+        Dag {
+            events,
+            prev_same_node,
+            cause,
+            node_events,
+            messages,
+            message_of,
+            drops,
+            edges: edge_set,
+        }
+    }
+
+    /// The parsed events backing this DAG, in stream order.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Number of node slots (highest node id seen + 1).
+    pub fn node_count(&self) -> usize {
+        self.node_events.len()
+    }
+
+    /// All matched messages, in transmit order.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Dropped `(src, dst, t)` records, in stream order.
+    pub fn drops(&self) -> &[(NodeId, NodeId, f64)] {
+        &self.drops
+    }
+
+    /// Undirected communication edges observed in the stream, sorted.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Program-order predecessor of `event` (same node).
+    pub fn prev_same_node(&self, event: EventId) -> Option<EventId> {
+        self.prev_same_node.get(event).copied().flatten()
+    }
+
+    /// Cross-node causal predecessor: deliver → transmit → send.
+    pub fn cause(&self, event: EventId) -> Option<EventId> {
+        self.cause.get(event).copied().flatten()
+    }
+
+    /// The message a transmit/deliver event belongs to.
+    pub fn message_of(&self, event: EventId) -> Option<&Message> {
+        self.message_of
+            .get(event)
+            .copied()
+            .flatten()
+            .map(|m| &self.messages[m])
+    }
+
+    /// Events at `node`, in stream order.
+    pub fn events_at(&self, node: NodeId) -> &[EventId] {
+        self.node_events
+            .get(node.0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The last event at `node` with time ≤ `t`, if any.
+    pub fn last_event_at_node_before(&self, node: NodeId, t: f64) -> Option<EventId> {
+        self.events_at(node)
+            .iter()
+            .rev()
+            .copied()
+            .find(|&i| self.events[i].time() <= t)
+    }
+}
+
+fn note_edge(edges: &mut Vec<(usize, usize)>, a: NodeId, b: NodeId) {
+    let edge = (a.0.min(b.0), a.0.max(b.0));
+    // Streams touch few distinct edges repeatedly; keep insertion cheap
+    // and dedup once at the end (plus this early exit for runs of the
+    // same channel).
+    if edges.last() != Some(&edge) {
+        edges.push(edge);
+    }
+}
+
+fn arrival_tolerance(t: f64) -> f64 {
+    1e-9 * t.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn two_node_exchange() -> Vec<EngineEvent> {
+        vec![
+            EngineEvent::Wake {
+                node: n(0),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Wake {
+                node: n(1),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Send {
+                node: n(0),
+                t: 1.0,
+                hw: 1.0,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 1.0,
+                delay: Some(0.25),
+            },
+            EngineEvent::Deliver {
+                src: n(0),
+                dst: n(1),
+                t: 1.25,
+                dst_hw: 1.25,
+            },
+            EngineEvent::MultiplierChange {
+                node: n(1),
+                t: 1.25,
+                multiplier: 1.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn chains_send_transmit_deliver() {
+        let dag = Dag::from_events(two_node_exchange());
+        assert_eq!(dag.messages().len(), 1);
+        let msg = &dag.messages()[0];
+        assert_eq!(msg.send, Some(2));
+        assert_eq!(msg.transmit, 3);
+        assert_eq!(msg.deliver, Some(4));
+        assert!((msg.latency().unwrap() - 0.25).abs() < 1e-12);
+        // deliver ← transmit ← send causality.
+        assert_eq!(dag.cause(4), Some(3));
+        assert_eq!(dag.cause(3), Some(2));
+        // Program order: multiplier change follows the deliver at node 1.
+        assert_eq!(dag.prev_same_node(5), Some(4));
+        assert_eq!(dag.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn matches_reordered_arrivals_by_predicted_delay() {
+        // Two messages on the same channel; the second one's recorded delay
+        // predicts the first arrival instant.
+        let events = vec![
+            EngineEvent::Send {
+                node: n(0),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 0.0,
+                delay: Some(0.9),
+            },
+            EngineEvent::Send {
+                node: n(0),
+                t: 0.5,
+                hw: 0.5,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 0.5,
+                delay: Some(0.1),
+            },
+            EngineEvent::Deliver {
+                src: n(0),
+                dst: n(1),
+                t: 0.6,
+                dst_hw: 0.6,
+            },
+            EngineEvent::Deliver {
+                src: n(0),
+                dst: n(1),
+                t: 0.9,
+                dst_hw: 0.9,
+            },
+        ];
+        let dag = Dag::from_events(events);
+        let msgs = dag.messages();
+        assert_eq!(msgs[0].deliver, Some(5), "slow message arrives second");
+        assert_eq!(msgs[1].deliver, Some(4), "fast message arrives first");
+        assert_eq!(msgs[1].send, Some(2));
+    }
+
+    #[test]
+    fn drops_never_enter_flight_queues() {
+        let events = vec![
+            EngineEvent::Send {
+                node: n(0),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Drop {
+                src: n(0),
+                dst: n(1),
+                t: 0.0,
+            },
+            EngineEvent::Send {
+                node: n(0),
+                t: 1.0,
+                hw: 1.0,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 1.0,
+                delay: None,
+            },
+            EngineEvent::Deliver {
+                src: n(0),
+                dst: n(1),
+                t: 1.5,
+                dst_hw: 1.5,
+            },
+        ];
+        let dag = Dag::from_events(events);
+        assert_eq!(dag.drops().len(), 1);
+        assert_eq!(dag.messages().len(), 1);
+        // The deliver matches the surviving transmit (FIFO: delay is null).
+        assert_eq!(dag.messages()[0].deliver, Some(4));
+        assert_eq!(dag.cause(1), Some(0), "drop still caused by its send");
+    }
+
+    #[test]
+    fn last_event_lookup_respects_time() {
+        let dag = Dag::from_events(two_node_exchange());
+        assert_eq!(dag.last_event_at_node_before(n(1), 1.0), Some(1));
+        assert_eq!(dag.last_event_at_node_before(n(1), 2.0), Some(5));
+        assert_eq!(dag.last_event_at_node_before(n(7), 2.0), None);
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-node and per-edge statistics over a reconstructed DAG —
+//! the `gcs trace summary` report.
+
+use std::collections::BTreeMap;
+
+use gcs_analysis::Table;
+
+use crate::dag::{event_node, Dag};
+use gcs_sim::EngineEvent;
+
+/// Aggregate statistics for one node's events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeStats {
+    /// Total events attributed to this node (program order).
+    pub events: usize,
+    /// `send` events.
+    pub sends: usize,
+    /// `deliver` events (this node as receiver).
+    pub delivers: usize,
+    /// `timer_fire` events.
+    pub timer_fires: usize,
+    /// `rate_step` events.
+    pub rate_steps: usize,
+    /// `multiplier` events.
+    pub multiplier_changes: usize,
+    /// Smallest multiplier ever set (None until the first change).
+    pub min_multiplier: Option<f64>,
+    /// Largest multiplier ever set (None until the first change).
+    pub max_multiplier: Option<f64>,
+}
+
+/// Aggregate statistics for one undirected communication edge.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeStats {
+    /// Messages transmitted over the edge (both directions).
+    pub transmits: usize,
+    /// Messages delivered.
+    pub delivers: usize,
+    /// Messages dropped.
+    pub drops: usize,
+    /// Sum of measured latencies of delivered messages.
+    pub latency_sum: f64,
+    /// Smallest measured latency.
+    pub min_latency: Option<f64>,
+    /// Largest measured latency.
+    pub max_latency: Option<f64>,
+}
+
+impl EdgeStats {
+    /// Mean measured latency over delivered messages.
+    pub fn mean_latency(&self) -> Option<f64> {
+        (self.delivers > 0).then(|| self.latency_sum / self.delivers as f64)
+    }
+}
+
+/// The full summary of a trace: totals, per-node, and per-edge stats.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total parsed events.
+    pub total_events: usize,
+    /// Event counts per kind label, sorted by label.
+    pub kind_counts: BTreeMap<&'static str, usize>,
+    /// Per-node statistics, indexed by node id.
+    pub nodes: Vec<NodeStats>,
+    /// Per-edge statistics, keyed by the sorted node pair.
+    pub edges: BTreeMap<(usize, usize), EdgeStats>,
+    /// Messages still in flight when the stream ended.
+    pub undelivered: usize,
+    /// Real time of the last event.
+    pub end_t: f64,
+}
+
+impl TraceSummary {
+    /// Computes the summary of a reconstructed DAG.
+    pub fn from_dag(dag: &Dag) -> Self {
+        let mut summary = TraceSummary {
+            total_events: dag.events().len(),
+            nodes: vec![NodeStats::default(); dag.node_count()],
+            ..TraceSummary::default()
+        };
+        for event in dag.events() {
+            *summary.kind_counts.entry(event.kind()).or_insert(0) += 1;
+            summary.end_t = summary.end_t.max(event.time());
+            let stats = &mut summary.nodes[event_node(event).0];
+            stats.events += 1;
+            match *event {
+                EngineEvent::Send { .. } => stats.sends += 1,
+                EngineEvent::Deliver { .. } => stats.delivers += 1,
+                EngineEvent::TimerFire { .. } => stats.timer_fires += 1,
+                EngineEvent::RateStep { .. } => stats.rate_steps += 1,
+                EngineEvent::MultiplierChange { multiplier, .. } => {
+                    stats.multiplier_changes += 1;
+                    stats.min_multiplier = Some(
+                        stats
+                            .min_multiplier
+                            .map_or(multiplier, |m| m.min(multiplier)),
+                    );
+                    stats.max_multiplier = Some(
+                        stats
+                            .max_multiplier
+                            .map_or(multiplier, |m| m.max(multiplier)),
+                    );
+                }
+                _ => {}
+            }
+        }
+        for msg in dag.messages() {
+            let key = (msg.src.0.min(msg.dst.0), msg.src.0.max(msg.dst.0));
+            let edge = summary.edges.entry(key).or_default();
+            edge.transmits += 1;
+            if let Some(latency) = msg.latency() {
+                edge.delivers += 1;
+                edge.latency_sum += latency;
+                edge.min_latency = Some(edge.min_latency.map_or(latency, |m| m.min(latency)));
+                edge.max_latency = Some(edge.max_latency.map_or(latency, |m| m.max(latency)));
+            } else {
+                summary.undelivered += 1;
+            }
+        }
+        for &(src, dst, _) in dag.drops() {
+            let key = (src.0.min(dst.0), src.0.max(dst.0));
+            summary.edges.entry(key).or_default().drops += 1;
+        }
+        summary
+    }
+
+    /// Renders the summary as human-readable text (header line, kind
+    /// counts, per-node table, per-edge table).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace: {} events, {} nodes, {} edges, end t = {}\n",
+            self.total_events,
+            self.nodes.iter().filter(|s| s.events > 0).count(),
+            self.edges.len(),
+            self.end_t,
+        );
+        let kinds: Vec<String> = self
+            .kind_counts
+            .iter()
+            .map(|(k, c)| format!("{k}={c}"))
+            .collect();
+        out.push_str(&format!("kinds: {}\n", kinds.join(" ")));
+        if self.undelivered > 0 {
+            out.push_str(&format!(
+                "in flight at end of stream: {}\n",
+                self.undelivered
+            ));
+        }
+
+        let mut nodes = Table::new(vec![
+            "node", "events", "sends", "delivers", "fires", "rate", "mult", "mult.min", "mult.max",
+        ]);
+        for (id, s) in self.nodes.iter().enumerate() {
+            if s.events == 0 {
+                continue;
+            }
+            nodes.row(vec![
+                id.to_string(),
+                s.events.to_string(),
+                s.sends.to_string(),
+                s.delivers.to_string(),
+                s.timer_fires.to_string(),
+                s.rate_steps.to_string(),
+                s.multiplier_changes.to_string(),
+                opt(s.min_multiplier),
+                opt(s.max_multiplier),
+            ]);
+        }
+        out.push_str("\nper node:\n");
+        out.push_str(&nodes.to_string());
+
+        let mut edges = Table::new(vec![
+            "edge",
+            "transmits",
+            "delivers",
+            "drops",
+            "lat.mean",
+            "lat.min",
+            "lat.max",
+        ]);
+        for (&(a, b), s) in &self.edges {
+            edges.row(vec![
+                format!("{a}-{b}"),
+                s.transmits.to_string(),
+                s.delivers.to_string(),
+                s.drops.to_string(),
+                opt(s.mean_latency()),
+                opt(s.min_latency),
+                opt(s.max_latency),
+            ]);
+        }
+        out.push_str("\nper edge:\n");
+        out.push_str(&edges.to_string());
+        out
+    }
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| format!("{v:.6}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_graph::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn counts_nodes_edges_and_kinds() {
+        let events = vec![
+            EngineEvent::Wake {
+                node: n(0),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Wake {
+                node: n(1),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Send {
+                node: n(0),
+                t: 1.0,
+                hw: 1.0,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 1.0,
+                delay: Some(0.5),
+            },
+            EngineEvent::Deliver {
+                src: n(0),
+                dst: n(1),
+                t: 1.5,
+                dst_hw: 1.5,
+            },
+            EngineEvent::MultiplierChange {
+                node: n(1),
+                t: 1.5,
+                multiplier: 1.2,
+            },
+            EngineEvent::Drop {
+                src: n(1),
+                dst: n(0),
+                t: 2.0,
+            },
+        ];
+        let summary = TraceSummary::from_dag(&Dag::from_events(events));
+        assert_eq!(summary.total_events, 7);
+        assert_eq!(summary.kind_counts["wake"], 2);
+        assert_eq!(summary.kind_counts["deliver"], 1);
+        assert_eq!(summary.nodes[0].sends, 1);
+        assert_eq!(summary.nodes[1].delivers, 1);
+        assert_eq!(summary.nodes[1].max_multiplier, Some(1.2));
+        let edge = &summary.edges[&(0, 1)];
+        assert_eq!(edge.transmits, 1);
+        assert_eq!(edge.delivers, 1);
+        assert_eq!(edge.drops, 1);
+        assert!((edge.mean_latency().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(summary.undelivered, 0);
+        assert!((summary.end_t - 2.0).abs() < 1e-12);
+
+        let text = summary.render();
+        assert!(text.contains("per node:"));
+        assert!(text.contains("per edge:"));
+        assert!(text.contains("0-1"));
+    }
+
+    #[test]
+    fn tracks_in_flight_messages() {
+        let events = vec![
+            EngineEvent::Send {
+                node: n(0),
+                t: 0.0,
+                hw: 0.0,
+            },
+            EngineEvent::Transmit {
+                src: n(0),
+                dst: n(1),
+                t: 0.0,
+                delay: Some(10.0),
+            },
+        ];
+        let summary = TraceSummary::from_dag(&Dag::from_events(events));
+        assert_eq!(summary.undelivered, 1);
+        assert!(summary.render().contains("in flight"));
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end forensics acceptance: simulate, encode to JSONL, parse the
+//! text back, and check that the offline reconstruction agrees with the
+//! live engine — clocks to near-exact precision, peak-skew pair equal to
+//! what the online [`gcs_analysis::SkewObserver`] saw.
+
+use gcs_analysis::{encode_event, SkewObserver};
+use gcs_core::{AOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::{Engine, UniformDelay, VecSink};
+use gcs_time::DriftBounds;
+
+const N: usize = 8;
+const HORIZON: f64 = 60.0;
+
+/// One fixed-seed F2-style wavefront run: A^opt on a path under drifting
+/// rates, events captured in memory, exact skews observed online.
+fn run_fixture() -> (String, SkewObserver, Vec<f64>) {
+    let params = Params::recommended(0.05, 0.5).unwrap();
+    let drift = DriftBounds::new(0.05).unwrap();
+    let graph = topology::path(N);
+    let mut observer = SkewObserver::new(&graph);
+    let schedules = gcs_sim::rates::random_walk(N, drift, 1.0, HORIZON, 42);
+    let mut engine = Engine::builder(graph)
+        .protocols(vec![AOpt::new(params); N])
+        .delay_model(UniformDelay::new(0.5, 42))
+        .rate_schedules(schedules)
+        .event_sink(VecSink::default())
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until_observed(HORIZON, |e| observer.observe(e));
+    let logical = engine.logical_values();
+    let mut text = String::new();
+    for event in &engine.into_sink().events {
+        text.push_str(&encode_event(event));
+        text.push('\n');
+    }
+    (text, observer, logical)
+}
+
+#[test]
+fn reconstruction_matches_live_engine() {
+    let (text, _, live_logical) = run_fixture();
+    let events = gcs_forensics::parse_stream(&text).unwrap();
+    let clocks = gcs_forensics::ClockReconstruction::from_events(&events);
+    assert_eq!(clocks.node_count(), N);
+    let t = clocks.last_event_time();
+    for (i, &live) in live_logical.iter().enumerate() {
+        let rebuilt = clocks
+            .logical(NodeId(i), t)
+            .expect("every node woke at t = 0");
+        assert!(
+            (rebuilt - live).abs() < 1e-6,
+            "node {i}: reconstructed L = {rebuilt}, live L = {live} at t = {t}"
+        );
+    }
+}
+
+#[test]
+fn blame_pair_matches_online_observer() {
+    let (text, observer, _) = run_fixture();
+    let events = gcs_forensics::parse_stream(&text).unwrap();
+    let dag = gcs_forensics::Dag::from_events(events);
+    let clocks = gcs_forensics::ClockReconstruction::from_events(dag.events());
+    let report = gcs_forensics::blame(&dag, &clocks, Some(HORIZON), 64, false).unwrap();
+
+    let (ahead, behind) = observer.worst_local_pair();
+    assert_eq!(
+        (report.peak.local_pair.0 .0, report.peak.local_pair.1 .0),
+        (ahead, behind),
+        "offline peak local pair must match the online observer"
+    );
+    assert!(
+        (report.peak.local - observer.worst_local()).abs() < 1e-6,
+        "offline peak {} vs online {}",
+        report.peak.local,
+        observer.worst_local()
+    );
+    // The causal chains explain exactly those endpoints.
+    assert_eq!(report.chains[0].endpoint.0, ahead);
+    assert_eq!(report.chains[1].endpoint.0, behind);
+
+    let (g_ahead, g_behind) = observer.worst_global_pair();
+    assert_eq!(
+        (report.peak.global_pair.0 .0, report.peak.global_pair.1 .0),
+        (g_ahead, g_behind),
+        "offline peak global pair must match the online observer"
+    );
+    assert!((report.peak.global - observer.worst_global()).abs() < 1e-6);
+}
+
+#[test]
+fn chrome_export_of_real_run_is_valid() {
+    let (text, _, _) = run_fixture();
+    let events = gcs_forensics::parse_stream(&text).unwrap();
+    let dag = gcs_forensics::Dag::from_events(events);
+    let json = gcs_forensics::export_chrome(&dag);
+    let parsed = gcs_forensics::parse_json(&json).expect("export must be valid JSON");
+    let records = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert!(!records.is_empty());
+    for r in records {
+        let ph = r.get("ph").and_then(|v| v.as_str()).expect("ph field");
+        assert!(
+            matches!(ph, "M" | "i" | "C" | "b" | "e"),
+            "unexpected phase {ph}"
+        );
+    }
+}

@@ -7,8 +7,10 @@ use gcs_graph::{Graph, NodeId};
 use gcs_time::{HardwareClock, RateSchedule};
 
 use crate::delay::{DelayCtx, DelayModel, Delivery};
+use crate::profile::EngineProfile;
 use crate::protocol::{Action, Context, Protocol, TimerId};
 use crate::sink::{EngineEvent, EventSink, NullSink};
+use std::time::Instant;
 
 /// Counters over the messages exchanged in an execution.
 ///
@@ -122,6 +124,7 @@ pub struct EngineBuilder<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
     delay: Option<D>,
     schedules: Option<Vec<RateSchedule>>,
     sink: S,
+    profiling: bool,
 }
 
 impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
@@ -153,7 +156,17 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
             delay: self.delay,
             schedules: self.schedules,
             sink,
+            profiling: self.profiling,
         }
+    }
+
+    /// Enables wall-clock phase profiling (see [`EngineProfile`]). Off by
+    /// default; when off, the engine carries no timing overhead. Profiling
+    /// never touches the event queue or the sink, so enabling it cannot
+    /// change an execution.
+    pub fn profiling(mut self, enabled: bool) -> Self {
+        self.profiling = enabled;
+        self
     }
 
     /// Builds the engine.
@@ -203,6 +216,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
             },
             sink: self.sink,
             clock_buf: Vec::new(),
+            profile: self.profiling.then(Box::default),
         }
     }
 }
@@ -232,6 +246,9 @@ pub struct Engine<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
     sink: S,
     /// Scratch buffer for per-event logical-clock snapshots.
     clock_buf: Vec<f64>,
+    /// Phase timers, present only when profiling was requested (boxed to
+    /// keep the common unprofiled engine small).
+    profile: Option<Box<EngineProfile>>,
 }
 
 impl<P: Protocol, D: DelayModel> Engine<P, D, NullSink> {
@@ -243,6 +260,7 @@ impl<P: Protocol, D: DelayModel> Engine<P, D, NullSink> {
             delay: None,
             schedules: None,
             sink: NullSink,
+            profiling: false,
         }
     }
 }
@@ -288,6 +306,11 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     /// Consumes the engine, returning the installed event sink.
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// The accumulated phase timers, when profiling is enabled.
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        self.profile.as_deref()
     }
 
     /// The hardware-clock reading `H_v(now)`.
@@ -371,9 +394,14 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     pub fn step(&mut self) -> Option<f64> {
         let event = self.queue.pop()?;
         debug_assert!(event.time >= self.now - 1e-9, "event in the past");
+        let started = self.profile.as_ref().map(|_| Instant::now());
         self.now = self.now.max(event.time);
         self.dispatch(event.kind);
         self.maybe_snapshot();
+        if let (Some(profile), Some(started)) = (self.profile.as_deref_mut(), started) {
+            profile.dispatch += started.elapsed();
+            profile.events += 1;
+        }
         Some(self.now)
     }
 
@@ -422,6 +450,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         if !self.sink.wants_snapshots() {
             return;
         }
+        let started = self.profile.as_ref().map(|_| Instant::now());
         let mut buf = std::mem::take(&mut self.clock_buf);
         buf.clear();
         let now = self.now;
@@ -432,6 +461,10 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         );
         self.sink.snapshot(now, &buf, self.queue.len());
         self.clock_buf = buf;
+        if let (Some(profile), Some(started)) = (self.profile.as_deref_mut(), started) {
+            profile.snapshot += started.elapsed();
+            profile.snapshots += 1;
+        }
     }
 
     /// Emits a multiplier-change event if `v`'s protocol changed its
@@ -480,13 +513,23 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 hw,
             });
         }
+        let started = self.profile.as_ref().map(|_| Instant::now());
         let actions = {
             let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
             self.nodes[v.index()].proto.on_start(&mut ctx);
             ctx.actions
         };
+        self.note_protocol(started);
         self.apply_actions(v, actions);
         self.note_multiplier(v);
+    }
+
+    /// Credits time since `started` to the protocol phase (profiling only).
+    fn note_protocol(&mut self, started: Option<Instant>) {
+        if let (Some(profile), Some(started)) = (self.profile.as_deref_mut(), started) {
+            profile.protocol += started.elapsed();
+            profile.protocol_calls += 1;
+        }
     }
 
     fn start_node(&mut self, v: NodeId) {
@@ -559,6 +602,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 dst_hw: hw,
             });
         }
+        let started = self.profile.as_ref().map(|_| Instant::now());
         let actions = {
             let mut ctx = Context::new(dst, hw, self.graph.neighbors(dst));
             let proto = &mut self.nodes[dst.index()].proto;
@@ -568,6 +612,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
             proto.on_message(&mut ctx, src, msg);
             ctx.actions
         };
+        self.note_protocol(started);
         self.apply_actions(dst, actions);
         self.note_multiplier(dst);
     }
@@ -599,11 +644,13 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                         hw,
                     });
                 }
+                let started = self.profile.as_ref().map(|_| Instant::now());
                 let actions = {
                     let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
                     self.nodes[v.index()].proto.on_timer(&mut ctx, timer);
                     ctx.actions
                 };
+                self.note_protocol(started);
                 self.apply_actions(v, actions);
                 self.note_multiplier(v);
             }
@@ -678,7 +725,12 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
             dst_hw: self.hardware_value(dst),
             graph: &self.graph,
         };
+        let started = self.profile.as_ref().map(|_| Instant::now());
         let delivery = self.delay.delivery(&ctx);
+        if let (Some(profile), Some(started)) = (self.profile.as_deref_mut(), started) {
+            profile.delay += started.elapsed();
+            profile.delay_calls += 1;
+        }
         match delivery {
             Delivery::Drop => {
                 self.stats.dropped += 1;

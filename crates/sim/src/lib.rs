@@ -68,6 +68,7 @@
 
 mod delay;
 mod engine;
+pub mod profile;
 mod protocol;
 pub mod rates;
 pub mod sink;
@@ -78,6 +79,7 @@ pub use delay::{
     LossyDelay, UniformDelay,
 };
 pub use engine::{Engine, EngineBuilder, MessageStats};
+pub use profile::EngineProfile;
 pub use protocol::{Context, Protocol, TimerId};
 pub use sink::{EngineEvent, EventSink, NullSink, RingBufferSink, VecSink};
 pub use ticked::Ticked;

@@ -49,7 +49,7 @@ mod spec;
 pub use agg::{Stat, SweepAggregate};
 pub use job::{run_job, JobResult};
 pub use parse::{build_delay, build_rates, parse_topology, SweepDelay, ALGOS};
-pub use pool::{run_pool, JobOutcome};
+pub use pool::{run_pool, run_pool_timed, JobOutcome, PoolProgress, PoolStats};
 pub use spec::{JobSpec, SweepSpec};
 
 /// Runs the given jobs on `workers` threads and aggregates the results.
@@ -61,10 +61,27 @@ pub use spec::{JobSpec, SweepSpec};
 pub fn run_sweep(
     jobs: &[JobSpec],
     workers: usize,
-    mut emit: impl FnMut(&JobSpec, &JobOutcome<JobResult>) + Send,
+    emit: impl FnMut(&JobSpec, &JobOutcome<JobResult>) + Send,
 ) -> (Vec<JobOutcome<JobResult>>, SweepAggregate) {
+    let (outcomes, aggregate, _) = run_sweep_timed(jobs, workers, emit, None::<fn(PoolProgress)>);
+    (outcomes, aggregate)
+}
+
+/// Like [`run_sweep`], additionally returning the pool's wall-time
+/// accounting ([`PoolStats`]) and optionally invoking `progress` after
+/// each completed job (the hook behind `gcs sweep --progress`).
+///
+/// Timing is observational: outcomes, emit order, and the aggregate are
+/// byte-identical to [`run_sweep`]'s (property-tested in
+/// `tests/sweep_determinism.rs`).
+pub fn run_sweep_timed(
+    jobs: &[JobSpec],
+    workers: usize,
+    mut emit: impl FnMut(&JobSpec, &JobOutcome<JobResult>) + Send,
+    progress: Option<impl FnMut(PoolProgress) + Send>,
+) -> (Vec<JobOutcome<JobResult>>, SweepAggregate, PoolStats) {
     let mut aggregate = SweepAggregate::new();
-    let outcomes = run_pool(
+    let (outcomes, stats) = run_pool_timed(
         jobs.len(),
         workers,
         |index| run_job(&jobs[index]),
@@ -72,6 +89,7 @@ pub fn run_sweep(
             aggregate.ingest(index, outcome);
             emit(&jobs[index], outcome);
         },
+        progress,
     );
-    (outcomes, aggregate)
+    (outcomes, aggregate, stats)
 }

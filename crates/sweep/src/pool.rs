@@ -14,6 +14,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// What became of one job.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,10 +44,101 @@ impl<T> JobOutcome<T> {
     }
 }
 
+/// Wall-time accounting for one pool run.
+///
+/// Collected by [`run_pool_timed`]; purely observational — the job
+/// results and the emit order are byte-identical with or without it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads actually used (after clamping to the job count).
+    pub workers: usize,
+    /// Wall time of the whole pool run.
+    pub wall: Duration,
+    /// Per-job wall times, indexed by job.
+    pub job_wall: Vec<Duration>,
+}
+
+impl PoolStats {
+    /// Summed job wall time (total useful work).
+    pub fn busy(&self) -> Duration {
+        self.job_wall.iter().sum()
+    }
+
+    /// Fraction of worker capacity spent running jobs:
+    /// `busy / (wall × workers)`, in `[0, 1]` up to timer noise.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall.as_secs_f64() * self.workers as f64;
+        if capacity > 0.0 {
+            self.busy().as_secs_f64() / capacity
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean per-job wall time.
+    pub fn mean_job(&self) -> Duration {
+        if self.job_wall.is_empty() {
+            Duration::ZERO
+        } else {
+            self.busy() / self.job_wall.len() as u32
+        }
+    }
+
+    /// Longest single job.
+    pub fn max_job(&self) -> Duration {
+        self.job_wall
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Renders the accounting block appended to sweep aggregate output.
+    pub fn render(&self) -> String {
+        format!(
+            "pool: {} jobs on {} workers in {:.3}s  (busy {:.3}s, utilization {:.1}%, \
+             job mean {:.4}s, max {:.4}s)\n",
+            self.job_wall.len(),
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.busy().as_secs_f64(),
+            100.0 * self.utilization(),
+            self.mean_job().as_secs_f64(),
+            self.max_job().as_secs_f64(),
+        )
+    }
+}
+
+/// A progress snapshot handed to the live-progress callback after each
+/// job completes (in completion order, under the pool's result lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolProgress {
+    /// Jobs finished so far.
+    pub done: usize,
+    /// Total jobs.
+    pub total: usize,
+    /// Wall time since the pool started.
+    pub elapsed: Duration,
+}
+
+impl PoolProgress {
+    /// Estimated time to completion, extrapolating the mean job rate.
+    pub fn eta(&self) -> Duration {
+        if self.done == 0 || self.done >= self.total {
+            Duration::ZERO
+        } else {
+            self.elapsed
+                .mul_f64((self.total - self.done) as f64 / self.done as f64)
+        }
+    }
+}
+
 struct EmitState<T, E> {
     results: Vec<Option<JobOutcome<T>>>,
     watermark: usize,
     emit: E,
+    job_wall: Vec<Duration>,
+    done: usize,
 }
 
 /// Runs jobs `0..count` on `workers` threads and returns all outcomes in
@@ -66,13 +158,41 @@ where
     F: Fn(usize) -> Result<T, String> + Sync,
     E: FnMut(usize, &JobOutcome<T>) + Send,
 {
+    run_pool_timed(count, workers, run, emit, None::<fn(PoolProgress)>).0
+}
+
+/// Like [`run_pool`], additionally returning wall-time accounting and
+/// optionally invoking `progress` after each job completes (in completion
+/// order — *not* emit order — so a live display updates immediately).
+///
+/// Timing is observational only: results, emit order, and everything the
+/// emit callback sees are identical to [`run_pool`]'s.
+pub fn run_pool_timed<T, F, E, G>(
+    count: usize,
+    workers: usize,
+    run: F,
+    emit: E,
+    mut progress: Option<G>,
+) -> (Vec<JobOutcome<T>>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, String> + Sync,
+    E: FnMut(usize, &JobOutcome<T>) + Send,
+    G: FnMut(PoolProgress) + Send,
+{
     let workers = workers.max(1).min(count.max(1));
     let next = AtomicUsize::new(0);
+    let pool_started = Instant::now();
     let state = Mutex::new(EmitState {
         results: (0..count).map(|_| None).collect(),
         watermark: 0,
         emit,
+        job_wall: vec![Duration::ZERO; count],
+        done: 0,
     });
+    // Paired with the highest done-count already reported, so the live
+    // display never goes backwards when completions race.
+    let progress = Mutex::new((0usize, progress.as_mut()));
 
     thread::scope(|scope| {
         for _ in 0..workers {
@@ -81,21 +201,40 @@ where
                 if index >= count {
                     break;
                 }
+                let job_started = Instant::now();
                 let outcome = match catch_unwind(AssertUnwindSafe(|| run(index))) {
                     Ok(Ok(value)) => JobOutcome::Completed(value),
                     Ok(Err(message)) => JobOutcome::Failed(message),
                     Err(payload) => JobOutcome::Failed(panic_message(payload.as_ref())),
                 };
-                let mut state = state.lock().expect("pool state poisoned");
-                state.results[index] = Some(outcome);
-                // Advance the watermark over the completed prefix, emitting
-                // each newly reachable job in index order.
-                while state.watermark < count && state.results[state.watermark].is_some() {
-                    let at = state.watermark;
-                    state.watermark += 1;
-                    let ready = state.results[at].take().expect("checked is_some");
-                    (state.emit)(at, &ready);
-                    state.results[at] = Some(ready);
+                let job_wall = job_started.elapsed();
+                let done = {
+                    let mut state = state.lock().expect("pool state poisoned");
+                    state.results[index] = Some(outcome);
+                    state.job_wall[index] = job_wall;
+                    state.done += 1;
+                    // Advance the watermark over the completed prefix,
+                    // emitting each newly reachable job in index order.
+                    while state.watermark < count && state.results[state.watermark].is_some() {
+                        let at = state.watermark;
+                        state.watermark += 1;
+                        let ready = state.results[at].take().expect("checked is_some");
+                        (state.emit)(at, &ready);
+                        state.results[at] = Some(ready);
+                    }
+                    state.done
+                };
+                let mut guard = progress.lock().expect("progress poisoned");
+                let (reported, callback) = &mut *guard;
+                if done > *reported {
+                    *reported = done;
+                    if let Some(callback) = callback.as_deref_mut() {
+                        callback(PoolProgress {
+                            done,
+                            total: count,
+                            elapsed: pool_started.elapsed(),
+                        });
+                    }
                 }
             });
         }
@@ -103,11 +242,17 @@ where
 
     let state = state.into_inner().expect("pool state poisoned");
     debug_assert_eq!(state.watermark, count, "every job must have been emitted");
-    state
+    let stats = PoolStats {
+        workers,
+        wall: pool_started.elapsed(),
+        job_wall: state.job_wall,
+    };
+    let outcomes = state
         .results
         .into_iter()
         .map(|slot| slot.expect("every job must have completed"))
-        .collect()
+        .collect();
+    (outcomes, stats)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -173,5 +318,54 @@ mod tests {
         assert!(outcomes.is_empty());
         let outcomes = run_pool(3, 0, Ok, |_, _| {});
         assert_eq!(outcomes.len(), 3);
+    }
+
+    #[test]
+    fn timed_pool_accounts_every_job_and_reports_progress() {
+        let mut seen = Vec::new();
+        let progress = Mutex::new(Vec::new());
+        let (outcomes, stats) = run_pool_timed(
+            10,
+            3,
+            |i| {
+                thread::sleep(Duration::from_millis(2));
+                Ok(i)
+            },
+            |i, _| seen.push(i),
+            Some(|p: PoolProgress| progress.lock().unwrap().push(p.done)),
+        );
+        assert_eq!(outcomes.len(), 10);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.job_wall.len(), 10);
+        assert!(stats
+            .job_wall
+            .iter()
+            .all(|d| *d >= Duration::from_millis(1)));
+        assert!(stats.busy() <= stats.wall * 3 + Duration::from_millis(50));
+        assert!(stats.utilization() > 0.0);
+        assert!(stats.render().contains("10 jobs on 3 workers"));
+
+        let progress = progress.into_inner().unwrap();
+        // Monotone, ends at the full count (intermediate counts may be
+        // skipped when completions race).
+        assert!(progress.windows(2).all(|w| w[0] < w[1]), "{progress:?}");
+        assert_eq!(progress.last(), Some(&10));
+    }
+
+    #[test]
+    fn eta_extrapolates_mean_rate() {
+        let p = PoolProgress {
+            done: 4,
+            total: 12,
+            elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(p.eta(), Duration::from_secs(4));
+        let done = PoolProgress {
+            done: 12,
+            total: 12,
+            elapsed: Duration::from_secs(6),
+        };
+        assert_eq!(done.eta(), Duration::ZERO);
     }
 }

@@ -1,0 +1,93 @@
+//! `run_sweep_timed` must be observationally identical to `run_sweep`:
+//! same outcomes, same emit order, byte-identical CSV/JSONL — with or
+//! without the progress callback, at any worker count. The timing and
+//! progress machinery behind `gcs sweep --profile` / `--progress` is pure
+//! observation.
+
+use std::sync::Mutex;
+
+use gcs_sweep::{report, run_sweep, run_sweep_timed, PoolProgress, SweepSpec};
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        topologies: vec!["path:5".into(), "ring:6".into()],
+        eps: vec![0.01, 0.02],
+        seeds: 0..3,
+        horizon: 25.0,
+        ..SweepSpec::default()
+    }
+}
+
+/// Renders the full deterministic output (CSV rows + JSONL rows + summary)
+/// the way `gcs sweep` streams it.
+fn render(emitted: &[(String, String)], summary: &str) -> String {
+    let mut out = String::from(report::CSV_HEADER);
+    out.push('\n');
+    for (csv, jsonl) in emitted {
+        out.push_str(csv);
+        out.push('\n');
+        out.push_str(jsonl);
+        out.push('\n');
+    }
+    out.push_str(summary);
+    out.push('\n');
+    out
+}
+
+#[test]
+fn timed_sweep_output_is_byte_identical_to_untimed() {
+    let jobs = spec().expand();
+    assert_eq!(jobs.len(), 12);
+
+    let mut plain_rows = Vec::new();
+    let (plain_outcomes, plain_agg) = run_sweep(&jobs, 2, |job, outcome| {
+        plain_rows.push((
+            report::csv_row(job, outcome),
+            report::jsonl_row(job, outcome),
+        ));
+    });
+    let reference = render(&plain_rows, &report::jsonl_summary(&plain_agg));
+
+    // Timed, no progress callback, different worker count.
+    let mut rows = Vec::new();
+    let (outcomes, agg, stats) = run_sweep_timed(
+        &jobs,
+        4,
+        |job, outcome| {
+            rows.push((
+                report::csv_row(job, outcome),
+                report::jsonl_row(job, outcome),
+            ));
+        },
+        None::<fn(PoolProgress)>,
+    );
+    assert_eq!(outcomes, plain_outcomes);
+    assert_eq!(render(&rows, &report::jsonl_summary(&agg)), reference);
+    assert_eq!(stats.job_wall.len(), jobs.len());
+
+    // Timed, with a live progress callback.
+    let progress = Mutex::new(Vec::new());
+    let mut rows = Vec::new();
+    let (outcomes, agg, stats) = run_sweep_timed(
+        &jobs,
+        3,
+        |job, outcome| {
+            rows.push((
+                report::csv_row(job, outcome),
+                report::jsonl_row(job, outcome),
+            ));
+        },
+        Some(|p: PoolProgress| progress.lock().unwrap().push(p.done)),
+    );
+    assert_eq!(outcomes, plain_outcomes);
+    assert_eq!(render(&rows, &report::jsonl_summary(&agg)), reference);
+    assert_eq!(stats.workers, 3);
+    assert!(stats.utilization() > 0.0);
+
+    let progress = progress.into_inner().unwrap();
+    assert!(
+        progress.windows(2).all(|w| w[0] < w[1]),
+        "progress counts must be strictly monotone: {progress:?}"
+    );
+    assert_eq!(progress.last(), Some(&jobs.len()));
+}

@@ -5,6 +5,7 @@
 //! gcs bounds        print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
 //! gcs run           simulate an algorithm on a topology and report skews
 //! gcs sweep         run a parameter grid on a parallel worker pool
+//! gcs trace         forensics over a recorded event stream
 //! gcs replay-check  diff two JSONL event logs (determinism check)
 //! gcs lb-global     run the Theorem 7.2 forced-global-skew construction
 //! gcs lb-local      run the Theorem 7.7 forced-local-skew construction
@@ -28,9 +29,16 @@ use clock_sync::analysis::{
 use clock_sync::core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
+use clock_sync::forensics::{
+    blame, export_chrome, parse_stream, ClockReconstruction, Dag, TraceSummary,
+};
 use clock_sync::graph::Graph;
-use clock_sync::sim::{DelayModel, Engine, EngineEvent, EventSink, MessageStats, Protocol};
-use clock_sync::sweep::{build_delay, build_rates, parse_topology, report, run_sweep, SweepSpec};
+use clock_sync::sim::{
+    DelayModel, Engine, EngineEvent, EngineProfile, EventSink, MessageStats, Protocol,
+};
+use clock_sync::sweep::{
+    build_delay, build_rates, parse_topology, report, run_sweep_timed, PoolProgress, SweepSpec,
+};
 use clock_sync::time::{DriftBounds, RateSchedule};
 
 const USAGE: &str = "\
@@ -43,6 +51,7 @@ COMMANDS:
     bounds        print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
     run           simulate one algorithm on one topology and report skews
     sweep         run a parameter grid on a parallel worker pool
+    trace         forensics over a recorded event stream (summary|blame|export)
     replay-check  diff two JSONL event logs (determinism check)
     lb-global     run the Theorem 7.2 forced-global-skew construction
     lb-local      run the Theorem 7.7 forced-local-skew construction
@@ -67,6 +76,7 @@ EXAMPLES:
     gcs bounds --eps 1e-4 --t 0.001 --d 30
     gcs run --topology grid:6x6 --delays uniform --rates walk --horizon 200
     gcs sweep --topologies path:9,path:17 --seeds 8 --jobs 4 --csv out.csv
+    gcs run --events run.jsonl && gcs trace blame run.jsonl
     gcs replay-check a.jsonl b.jsonl
     gcs lb-global --d 16 --eps 0.05 --t 0.5 --t-hat 1.0
 ";
@@ -110,6 +120,9 @@ OBSERVABILITY:
     --metrics            print the metrics registry snapshot after the run
     --watchdog           check Conditions (1)/(2) and the Def. 5.6 legal
                          state online; on violation, dump the last events
+    --profile            time the engine's event-loop phases (protocol /
+                         delay / snapshot) and print the breakdown; timing
+                         is observational — all outputs stay byte-identical
     --kappa-factor F     scale κ by F, bypassing the Eq. (4) validation
                          (with F < 1 and --watchdog: demonstrates the
                          invariant violation the paper predicts)
@@ -152,6 +165,10 @@ EXECUTION:
     --csv FILE           write one CSV row per job, in job order
     --jsonl FILE         write one JSON line per job plus a final summary
                          line, in job order (replay-check-able)
+    --progress           live progress line on stderr (done/total, ETA);
+                         stdout and all files stay byte-identical
+    --profile            print the pool's wall-time accounting (per-job
+                         mean/max, worker utilization) after the aggregate
 
 EXAMPLES:
     gcs sweep --topologies path:9,path:17,path:33 --eps 0.02 --t 0.25 \\
@@ -160,14 +177,58 @@ EXAMPLES:
     gcs sweep --topologies er:24:0.2 --seeds 0..32 --dry-run
 ";
 
+const TRACE_USAGE: &str = "\
+gcs trace — forensics over a recorded event stream
+
+USAGE:
+    gcs trace summary FILE.jsonl
+    gcs trace blame   FILE.jsonl [--global] [--end T] [--max-hops N]
+    gcs trace export  FILE.jsonl --chrome [--out FILE.json]
+
+Reads a `gcs run --events` JSONL log, reconstructs every node's exact
+hardware and logical clock plus the happened-before DAG over all
+messages, and answers provenance queries offline — no re-simulation.
+
+ACTIONS:
+    summary    per-node / per-edge event, delivery, and latency statistics
+    blame      locate the peak-skew instant, then walk the causal chain of
+               messages that produced it (the Theorem 5.10 wavefront),
+               annotated with reconstructed clock readings
+    export     convert the stream to another tool's format
+
+OPTIONS (blame):
+    --global       explain the peak *global* skew pair instead of the
+                   peak local (neighbour) pair
+    --end T        also evaluate skew at real time T (pass the run horizon
+                   to include skew still growing at end of stream)
+    --max-hops N   cap the causal walk length             (default 64)
+
+OPTIONS (export):
+    --chrome       Chrome trace-event / Perfetto JSON: one track per node
+                   (load in chrome://tracing or ui.perfetto.dev)
+    --out FILE     write to FILE instead of stdout
+
+See docs/TRACE_FORMAT.md for the JSONL schema and the Chrome mapping.
+
+EXAMPLE:
+    gcs run --topology path:8 --delays wavefront --events run.jsonl
+    gcs trace blame run.jsonl --end 120
+";
+
 const REPLAY_USAGE: &str = "\
 gcs replay-check — diff two JSONL logs (determinism check)
 
 USAGE:
     gcs replay-check FILE1.jsonl FILE2.jsonl
 
-Compares line-by-line and reports the first divergence. Works on
-`gcs run --events` logs and `gcs sweep --jsonl` outputs alike.
+Compares line-by-line and reports the first divergence with surrounding
+context from both streams. Works on `gcs run --events` logs and
+`gcs sweep --jsonl` outputs alike.
+
+EXIT CODES:
+    0    streams are byte-identical
+    1    usage or I/O error
+    2    streams diverge
 ";
 
 const LB_GLOBAL_USAGE: &str = "\
@@ -202,6 +263,7 @@ const COMMANDS: &[(&str, &str)] = &[
     ("bounds", BOUNDS_USAGE),
     ("run", RUN_USAGE),
     ("sweep", SWEEP_USAGE),
+    ("trace", TRACE_USAGE),
     ("replay-check", REPLAY_USAGE),
     ("lb-global", LB_GLOBAL_USAGE),
     ("lb-local", LB_LOCAL_USAGE),
@@ -228,9 +290,21 @@ fn main() -> ExitCode {
         print!("{usage}");
         return ExitCode::SUCCESS;
     }
-    // replay-check takes positional file arguments, not --key value pairs.
-    let result = if command == "replay-check" {
-        cmd_replay_check(rest)
+    // replay-check distinguishes "streams diverge" (exit 2) from usage and
+    // I/O errors (exit 1) so scripts can branch on the comparison itself.
+    if command == "replay-check" {
+        return match cmd_replay_check(rest) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(2),
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // trace takes positional arguments (action + file), not --key pairs.
+    let result = if command == "trace" {
+        cmd_trace(rest)
     } else {
         let opts = match Options::parse(rest) {
             Ok(opts) => opts,
@@ -265,7 +339,9 @@ struct Options {
 
 impl Options {
     /// Options that are pure flags: present or absent, no value.
-    const FLAGS: &'static [&'static str] = &["metrics", "watchdog", "dry-run"];
+    const FLAGS: &'static [&'static str] = &[
+        "metrics", "watchdog", "dry-run", "profile", "progress", "global", "chrome",
+    ];
 
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut values = HashMap::new();
@@ -450,6 +526,7 @@ struct RunOutput {
     stats: MessageStats,
     metrics: Option<MetricsSink>,
     trip: Option<WatchdogTrip>,
+    profile: Option<EngineProfile>,
 }
 
 fn run_any<P: Protocol, D: DelayModel>(
@@ -459,16 +536,19 @@ fn run_any<P: Protocol, D: DelayModel>(
     schedules: Vec<RateSchedule>,
     horizon: f64,
     sinks: RunSinks,
+    profiling: bool,
 ) -> Result<RunOutput, String> {
     let mut engine = Engine::builder(graph)
         .protocols(protocols)
         .delay_model(delay)
         .rate_schedules(schedules)
         .event_sink(sinks)
+        .profiling(profiling)
         .build();
     engine.wake_all_at(0.0);
     engine.run_until(horizon);
     let stats = engine.message_stats().clone();
+    let profile = engine.profile().cloned();
     let mut sinks = engine.into_sink();
     if let Some((path, trace)) = sinks.trace.take() {
         trace
@@ -491,6 +571,7 @@ fn run_any<P: Protocol, D: DelayModel>(
         stats,
         metrics: sinks.metrics,
         trip: sinks.watchdog.and_then(|w| w.trip().cloned()),
+        profile,
     })
 }
 
@@ -524,9 +605,18 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let schedules = build_rates(opts.str_or("rates", "walk"), &graph, drift, horizon, seed)?;
     let sinks = RunSinks::new(&graph, horizon, opts, params)?;
 
+    let profiling = opts.flag("profile");
     macro_rules! dispatch {
         ($protocols:expr) => {
-            run_any(graph.clone(), $protocols, delay, schedules, horizon, sinks)?
+            run_any(
+                graph.clone(),
+                $protocols,
+                delay,
+                schedules,
+                horizon,
+                sinks,
+                profiling,
+            )?
         };
     }
     let output = match algo {
@@ -552,18 +642,20 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let mut table = Table::new(vec!["quantity", "value"]);
     table.row(vec!["algorithm".into(), algo.to_string()]);
     table.row(vec!["nodes / diameter".into(), format!("{n} / {d}")]);
+    let (g_ahead, g_behind) = observer.worst_global_pair();
     table.row(vec![
         "worst global skew".into(),
         format!(
-            "{:.6}  (at t = {:.2})",
+            "{:.6}  (v{g_ahead} − v{g_behind} at t = {:.2})",
             observer.worst_global(),
             observer.worst_global_at()
         ),
     ]);
+    let (l_ahead, l_behind) = observer.worst_local_pair();
     table.row(vec![
         "worst local skew".into(),
         format!(
-            "{:.6}  (at t = {:.2})",
+            "{:.6}  (v{l_ahead} − v{l_behind} at t = {:.2})",
             observer.worst_local(),
             observer.worst_local_at()
         ),
@@ -586,6 +678,11 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         format!("{:.3}", report.delivery_imbalance),
     ]);
     println!("{table}");
+
+    if let Some(profile) = &output.profile {
+        println!();
+        print!("{profile}");
+    }
 
     if let Some(metrics) = &output.metrics {
         println!("\nmetrics snapshot:");
@@ -687,18 +784,38 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         if workers == 1 { "" } else { "s" }
     );
     let started = Instant::now();
-    let (_, aggregate) = run_sweep(&jobs, workers, |job, outcome| {
-        if let Some(w) = csv.as_mut() {
-            if let Err(e) = writeln!(w, "{}", report::csv_row(job, outcome)) {
-                io_error.get_or_insert(format!("csv write failed: {e}"));
-            }
-        }
-        if let Some(w) = jsonl.as_mut() {
-            if let Err(e) = writeln!(w, "{}", report::jsonl_row(job, outcome)) {
-                io_error.get_or_insert(format!("jsonl write failed: {e}"));
-            }
-        }
+    // The live progress line goes to stderr only, in completion order;
+    // stdout and the CSV/JSONL files stay byte-identical with or without it.
+    let progress = opts.flag("progress").then_some(|p: PoolProgress| {
+        eprint!(
+            "\r[{}/{}] {:.1}s elapsed, ETA {:.1}s   ",
+            p.done,
+            p.total,
+            p.elapsed.as_secs_f64(),
+            p.eta().as_secs_f64()
+        );
+        let _ = std::io::stderr().flush();
     });
+    let (_, aggregate, pool_stats) = run_sweep_timed(
+        &jobs,
+        workers,
+        |job, outcome| {
+            if let Some(w) = csv.as_mut() {
+                if let Err(e) = writeln!(w, "{}", report::csv_row(job, outcome)) {
+                    io_error.get_or_insert(format!("csv write failed: {e}"));
+                }
+            }
+            if let Some(w) = jsonl.as_mut() {
+                if let Err(e) = writeln!(w, "{}", report::jsonl_row(job, outcome)) {
+                    io_error.get_or_insert(format!("jsonl write failed: {e}"));
+                }
+            }
+        },
+        progress,
+    );
+    if opts.flag("progress") {
+        eprintln!();
+    }
     let elapsed = started.elapsed();
     if let Some(w) = jsonl.as_mut() {
         if let Err(e) = writeln!(w, "{}", report::jsonl_summary(&aggregate)) {
@@ -721,6 +838,9 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         aggregate.completed, aggregate.failed, aggregate.watchdog_trips, elapsed
     );
     println!("{}", aggregate.render_table());
+    if opts.flag("profile") {
+        print!("{}", pool_stats.render());
+    }
     if let Some(path) = opts.values.get("csv") {
         println!("per-job CSV written to {path}");
     }
@@ -740,7 +860,9 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_replay_check(args: &[String]) -> Result<(), String> {
+/// Compares two event logs. `Ok(true)` means identical, `Ok(false)` means
+/// a divergence was found and reported (exit code 2 in `main`).
+fn cmd_replay_check(args: &[String]) -> Result<bool, String> {
     let [left, right] = args else {
         return Err("replay-check needs exactly two event-log paths".to_string());
     };
@@ -754,20 +876,95 @@ fn cmd_replay_check(args: &[String]) -> Result<(), String> {
                 "replay-check: streams are byte-identical ({} events)",
                 a.lines().count()
             );
-            Ok(())
+            Ok(true)
         }
         Some(diff) => {
             println!("replay-check: streams diverge at line {}:", diff.line);
+            // Lines before the divergence are identical in both streams,
+            // so the leading context is printed once.
+            const CONTEXT: usize = 3;
+            let lines: Vec<&str> = a.lines().collect();
+            let first = diff.line.saturating_sub(1).saturating_sub(CONTEXT);
+            for (offset, line) in lines[first..diff.line - 1].iter().enumerate() {
+                println!("     {:>6}  {line}", first + offset + 1);
+            }
             println!(
-                "  left:  {}",
+                "  <  {:>6}  {}",
+                diff.line,
                 diff.left.as_deref().unwrap_or("<end of stream>")
             );
             println!(
-                "  right: {}",
+                "  >  {:>6}  {}",
+                diff.line,
                 diff.right.as_deref().unwrap_or("<end of stream>")
             );
-            Err("event streams differ".to_string())
+            // Trailing context from each stream separately — after the
+            // divergence they no longer correspond line-for-line.
+            for (marker, text) in [('<', &a), ('>', &b)] {
+                for (offset, line) in text.lines().skip(diff.line).take(CONTEXT - 1).enumerate() {
+                    println!("  {marker}  {:>6}  {line}", diff.line + offset + 1);
+                }
+            }
+            eprintln!("error: event streams differ");
+            Ok(false)
         }
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let [action, path, rest @ ..] = args else {
+        return Err(
+            "trace needs an action (summary|blame|export) and an event-log path".to_string(),
+        );
+    };
+    let opts = Options::parse(rest)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = parse_stream(&text).map_err(|e| format!("{path}: {e}"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: stream contains no events"));
+    }
+    let dag = Dag::from_events(events);
+    match action.as_str() {
+        "summary" => {
+            print!("{}", TraceSummary::from_dag(&dag).render());
+            Ok(())
+        }
+        "blame" => {
+            let clocks = ClockReconstruction::from_events(dag.events());
+            let end = match opts.values.get("end") {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("option --end: `{v}` is not a number"))?,
+                ),
+                None => None,
+            };
+            let max_hops = opts.usize_or("max-hops", 64)?;
+            let report = blame(&dag, &clocks, end, max_hops, opts.flag("global"))
+                .ok_or("stream never has two nodes awake at once — no skew to explain")?;
+            print!("{}", report.render(&clocks));
+            Ok(())
+        }
+        "export" => {
+            if !opts.flag("chrome") {
+                return Err("export needs a format; the supported one is --chrome".to_string());
+            }
+            let json = export_chrome(&dag);
+            match opts.values.get("out") {
+                Some(out) => {
+                    std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+                    println!(
+                        "chrome trace written to {out} ({} events, {} messages)",
+                        dag.events().len(),
+                        dag.messages().len()
+                    );
+                }
+                None => print!("{json}"),
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown trace action `{other}` (expected summary, blame, or export)"
+        )),
     }
 }
 

@@ -11,12 +11,15 @@
 //! * [`adversary`] — the paper's worst-case execution constructions.
 //! * [`analysis`] — skew traces, legal-state checking, accounting.
 //! * [`sweep`] — the parallel, deterministic experiment-sweep orchestrator.
+//! * [`forensics`] — trace parsing, happened-before reconstruction, skew
+//!   provenance (blame), and Chrome trace-event export.
 
 #![forbid(unsafe_code)]
 
 pub use gcs_adversary as adversary;
 pub use gcs_analysis as analysis;
 pub use gcs_core as core;
+pub use gcs_forensics as forensics;
 pub use gcs_graph as graph;
 pub use gcs_sim as sim;
 pub use gcs_sweep as sweep;
