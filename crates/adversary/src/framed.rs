@@ -79,7 +79,8 @@ impl DelayModel for StagedDelay {
         } else {
             self.t_max
         };
-        let target = self.bases[ctx.dst.index()] + (ctx.src_hw - self.bases[ctx.src.index()]) + d_e;
+        let target =
+            self.bases[ctx.dst.index()] + (ctx.src_hw() - self.bases[ctx.src.index()]) + d_e;
         Delivery::AtReceiverHw(target)
     }
 

@@ -63,7 +63,7 @@ impl DelayModel for ShiftedDelay {
     fn delivery(&mut self, ctx: &DelayCtx<'_>) -> Delivery {
         let toward = self.dist[ctx.dst.index()] < self.dist[ctx.src.index()];
         let lag = if toward { self.local_lag } else { 0.0 };
-        Delivery::AtReceiverHw(ctx.src_hw + lag)
+        Delivery::AtReceiverHw(ctx.src_hw() + lag)
     }
 }
 

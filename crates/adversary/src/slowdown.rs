@@ -40,7 +40,7 @@ impl DelayModel for BaseEquivalentDelay {
     fn delivery(&mut self, ctx: &DelayCtx<'_>) -> Delivery {
         let r_src = self.rates[ctx.src.index()];
         let r_dst = self.rates[ctx.dst.index()];
-        Delivery::AtReceiverHw(r_dst * (ctx.src_hw / r_src + self.d0))
+        Delivery::AtReceiverHw(r_dst * (ctx.src_hw() / r_src + self.d0))
     }
 
     fn uncertainty(&self) -> Option<f64> {

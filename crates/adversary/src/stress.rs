@@ -205,14 +205,7 @@ mod tests {
     fn phases_alternate() {
         let g = topology::path(2);
         let mut m = FlappingDelay::new(&g, NodeId(0), 0.5, 1.0);
-        let ctx = |now: f64| DelayCtx {
-            src: NodeId(1),
-            dst: NodeId(0),
-            now,
-            src_hw: now,
-            dst_hw: now,
-            graph: &g,
-        };
+        let ctx = |now: f64| DelayCtx::new(NodeId(1), NodeId(0), now, now, now, &g);
         assert_eq!(m.delivery(&ctx(0.5)), Delivery::After(0.0)); // even phase, toward
         assert_eq!(m.delivery(&ctx(1.5)), Delivery::After(0.5)); // odd phase
     }

@@ -29,8 +29,6 @@
 //! immediately). Until a first message from a neighbour arrives, the node is
 //! oblivious to that neighbour.
 
-use std::collections::HashMap;
-
 use gcs_graph::NodeId;
 use gcs_sim::{Context, Protocol, TimerId};
 use gcs_time::LogicalClock;
@@ -90,7 +88,10 @@ pub struct AOpt {
     lmax_offset: Option<f64>,
     /// Index of the next `H₀` multiple at which to send (Algorithm 1).
     next_multiple: u64,
-    estimates: HashMap<NodeId, NeighborEstimate>,
+    /// Per-neighbour estimates, keyed by a linear scan: node degrees are
+    /// small, so this beats hashing on the engine's per-message hot path
+    /// (and the skew folds over it are order-insensitive `max`es).
+    estimates: Vec<(NodeId, NeighborEstimate)>,
     /// `H_v^R` while the fast mode is armed (diagnostics only; the timer is
     /// authoritative).
     h_r: Option<f64>,
@@ -119,7 +120,7 @@ impl AOpt {
             logical: LogicalClock::new(),
             lmax_offset: None,
             next_multiple: 1,
-            estimates: HashMap::new(),
+            estimates: Vec::new(),
             h_r: None,
             sends: 0,
             jump_mode: false,
@@ -157,7 +158,10 @@ impl AOpt {
     /// The estimate `L_v^w` of neighbour `w`'s clock at hardware reading
     /// `hw`, if a message from `w` has been received.
     pub fn neighbor_estimate(&self, w: NodeId, hw: f64) -> Option<f64> {
-        self.estimates.get(&w).map(|e| hw + e.offset)
+        self.estimates
+            .iter()
+            .find(|&&(v, _)| v == w)
+            .map(|(_, e)| hw + e.offset)
     }
 
     /// The current rate multiplier `ρ_v`.
@@ -188,8 +192,8 @@ impl AOpt {
     pub fn lambda_up(&self, hw: f64) -> Option<f64> {
         let l = self.logical.value_at_hw(hw);
         self.estimates
-            .values()
-            .map(|e| self.estimate_value(e, hw) - l)
+            .iter()
+            .map(|(_, e)| self.estimate_value(e, hw) - l)
             .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 
@@ -197,8 +201,8 @@ impl AOpt {
     pub fn lambda_down(&self, hw: f64) -> Option<f64> {
         let l = self.logical.value_at_hw(hw);
         self.estimates
-            .values()
-            .map(|e| l - self.estimate_value(e, hw))
+            .iter()
+            .map(|(_, e)| l - self.estimate_value(e, hw))
             .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 
@@ -225,12 +229,22 @@ impl AOpt {
     fn set_clock_rate(&mut self, ctx: &mut Context<'_, AOptMsg>) {
         let hw = ctx.hw();
         let l = self.logical.value_at_hw(hw);
-        let (lambda_up, lambda_down) = match self.lambda_up(hw) {
-            Some(up) => (up, self.lambda_down(hw).expect("both exist together")),
-            // No neighbour heard from yet: no skew information, stay nominal
-            // (but the κ-tolerance toward L_v^max still applies below via
-            // Λ↓ = 0, Λ↑ = 0 — the paper's line 2 uses max{κ − Λ↓, ·}).
-            None => (0.0, 0.0),
+        // Λ↑ and Λ↓ in one pass over the estimate table (this runs on
+        // every delivery; the arithmetic is exactly `lambda_up` /
+        // `lambda_down`). No neighbour heard from yet means no skew
+        // information: stay nominal (but the κ-tolerance toward L_v^max
+        // still applies below via Λ↓ = 0, Λ↑ = 0 — the paper's line 2
+        // uses max{κ − Λ↓, ·}).
+        let (lambda_up, lambda_down) = if self.estimates.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let (mut up, mut down) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+            for (_, e) in &self.estimates {
+                let est = self.estimate_value(e, hw);
+                up = up.max(est - l);
+                down = down.max(l - est);
+            }
+            (up, down)
         };
         let headroom = self.lmax_value(hw) - l;
         let r = clamped_increase(lambda_up, lambda_down, self.params.kappa(), headroom);
@@ -281,10 +295,19 @@ impl Protocol for AOpt {
             self.schedule_send(ctx);
         }
         // Lines 5–7: adopt a larger (hence more recent) clock value of `w`.
-        let entry = self.estimates.entry(from).or_insert(NeighborEstimate {
-            offset: f64::NEG_INFINITY,
-            ell: f64::NEG_INFINITY,
-        });
+        let entry = match self.estimates.iter().position(|&(v, _)| v == from) {
+            Some(i) => &mut self.estimates[i].1,
+            None => {
+                self.estimates.push((
+                    from,
+                    NeighborEstimate {
+                        offset: f64::NEG_INFINITY,
+                        ell: f64::NEG_INFINITY,
+                    },
+                ));
+                &mut self.estimates.last_mut().expect("just pushed").1
+            }
+        };
         if msg.logical > entry.ell {
             entry.ell = msg.logical;
             entry.offset = msg.logical - hw;

@@ -12,6 +12,7 @@
 //!   keeps such deliveries correct across later rate changes.
 
 use gcs_graph::{Graph, NodeId};
+use gcs_time::HardwareClock;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
@@ -33,6 +34,29 @@ pub enum Delivery {
     Drop,
 }
 
+/// A hardware-clock reading supplied either precomputed or on demand.
+///
+/// The engine hands [`DelayCtx`] a clock reference instead of a reading, so
+/// delay models that never consult `src_hw`/`dst_hw` (the common case —
+/// constant, uniform, wavefront, …) cost zero clock evaluations per
+/// transmit.
+#[derive(Debug, Clone, Copy)]
+enum HwSource<'a> {
+    /// An already-evaluated reading.
+    Reading(f64),
+    /// Evaluate the clock when (and only when) the reading is requested.
+    Clock(&'a HardwareClock),
+}
+
+impl HwSource<'_> {
+    fn resolve(&self, now: f64) -> f64 {
+        match self {
+            HwSource::Reading(hw) => *hw,
+            HwSource::Clock(clock) => clock.value_at(now),
+        }
+    }
+}
+
 /// Information available to a [`DelayModel`] when it prices a message.
 #[derive(Debug, Clone, Copy)]
 pub struct DelayCtx<'a> {
@@ -46,12 +70,61 @@ pub struct DelayCtx<'a> {
     /// the adversary's role, and the paper's adversary schedules delays with
     /// full knowledge of the execution.
     pub now: f64,
-    /// Sender's hardware-clock reading at send time.
-    pub src_hw: f64,
-    /// Receiver's hardware-clock reading at send time (0 if unstarted).
-    pub dst_hw: f64,
+    src_hw: HwSource<'a>,
+    dst_hw: HwSource<'a>,
     /// The network graph.
     pub graph: &'a Graph,
+}
+
+impl<'a> DelayCtx<'a> {
+    /// Creates a context from precomputed hardware readings — for driving a
+    /// [`DelayModel`] outside the engine (tests, analysis tools).
+    pub fn new(
+        src: NodeId,
+        dst: NodeId,
+        now: f64,
+        src_hw: f64,
+        dst_hw: f64,
+        graph: &'a Graph,
+    ) -> Self {
+        DelayCtx {
+            src,
+            dst,
+            now,
+            src_hw: HwSource::Reading(src_hw),
+            dst_hw: HwSource::Reading(dst_hw),
+            graph,
+        }
+    }
+
+    /// Creates a context that evaluates the clocks lazily (engine hot path).
+    pub(crate) fn from_clocks(
+        src: NodeId,
+        dst: NodeId,
+        now: f64,
+        src_clock: &'a HardwareClock,
+        dst_clock: &'a HardwareClock,
+        graph: &'a Graph,
+    ) -> Self {
+        DelayCtx {
+            src,
+            dst,
+            now,
+            src_hw: HwSource::Clock(src_clock),
+            dst_hw: HwSource::Clock(dst_clock),
+            graph,
+        }
+    }
+
+    /// Sender's hardware-clock reading at send time.
+    pub fn src_hw(&self) -> f64 {
+        self.src_hw.resolve(self.now)
+    }
+
+    /// Receiver's hardware-clock reading at send time (0 if unstarted).
+    pub fn dst_hw(&self) -> f64 {
+        self.dst_hw.resolve(self.now)
+    }
 }
 
 /// Chooses message deliveries. Implementations play the adversary (or a
@@ -314,14 +387,7 @@ mod tests {
     use gcs_graph::topology;
 
     fn ctx<'a>(graph: &'a Graph, src: usize, dst: usize) -> DelayCtx<'a> {
-        DelayCtx {
-            src: NodeId(src),
-            dst: NodeId(dst),
-            now: 1.0,
-            src_hw: 1.0,
-            dst_hw: 1.0,
-            graph,
-        }
+        DelayCtx::new(NodeId(src), NodeId(dst), 1.0, 1.0, 1.0, graph)
     }
 
     #[test]
@@ -415,7 +481,7 @@ mod tests {
     fn fn_delay_invokes_closure() {
         let g = topology::path(2);
         let mut m = FnDelay::new(
-            |c: &DelayCtx<'_>| Delivery::AtReceiverHw(c.src_hw + 1.0),
+            |c: &DelayCtx<'_>| Delivery::AtReceiverHw(c.src_hw() + 1.0),
             Some(1.0),
         );
         assert_eq!(m.delivery(&ctx(&g, 0, 1)), Delivery::AtReceiverHw(2.0));

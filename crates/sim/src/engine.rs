@@ -1,14 +1,13 @@
 //! The discrete-event execution engine.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
-
 use gcs_graph::{Graph, NodeId};
 use gcs_time::{HardwareClock, RateSchedule};
 
 use crate::delay::{DelayCtx, DelayModel, Delivery};
+use crate::pending::{PendingHw, PendingSlab};
 use crate::profile::EngineProfile;
 use crate::protocol::{Action, Context, Protocol, TimerId};
+use crate::queue::EventQueue;
 use crate::sink::{EngineEvent, EventSink, NullSink};
 use std::time::Instant;
 
@@ -38,23 +37,6 @@ pub struct MessageStats {
     pub per_node_dropped: Vec<u64>,
 }
 
-/// A pending hardware-value item: fires when the owning node's hardware
-/// clock reaches `target`.
-#[derive(Debug, Clone)]
-enum PendingHw<M> {
-    Timer { timer: TimerId, target: f64 },
-    Delivery { src: NodeId, msg: M, target: f64 },
-}
-
-impl<M> PendingHw<M> {
-    fn target(&self) -> f64 {
-        match self {
-            PendingHw::Timer { target, .. } => *target,
-            PendingHw::Delivery { target, .. } => *target,
-        }
-    }
-}
-
 #[derive(Debug, Clone)]
 enum EventKind<M> {
     /// Spontaneous initialization of a node.
@@ -62,37 +44,11 @@ enum EventKind<M> {
     /// Real-time message delivery.
     Deliver { src: NodeId, dst: NodeId, msg: M },
     /// A hardware-value item (timer or hw-targeted delivery) may be due.
-    HwDue { node: NodeId, id: u64 },
+    /// `(slot, gen)` addresses the item in the node's [`PendingSlab`]; a
+    /// generation mismatch marks the entry stale in O(1).
+    HwDue { node: NodeId, slot: u32, gen: u32 },
     /// Apply the next step of the node's pre-configured rate schedule.
     RateStep { node: NodeId, at: f64 },
-}
-
-#[derive(Debug, Clone)]
-struct QueuedEvent<M> {
-    time: f64,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 #[derive(Debug, Clone)]
@@ -100,10 +56,12 @@ struct NodeState<P: Protocol> {
     proto: P,
     hw: HardwareClock,
     schedule: RateSchedule,
-    /// Pending hardware-value items by id.
-    pending: HashMap<u64, PendingHw<P::Msg>>,
-    /// Timer slot -> pending id, for replacement semantics.
-    timer_slots: HashMap<TimerId, u64>,
+    /// Pending hardware-value items (slab-backed, allocation-free in
+    /// steady state).
+    pending: PendingSlab<P::Msg>,
+    /// Timer slot -> slab slot, for replacement semantics. Protocols use a
+    /// handful of timer slots at most, so a linear scan beats hashing.
+    timer_slots: Vec<(TimerId, u32)>,
     /// Hardware-targeted deliveries addressed to this node before it was
     /// initialized; activated at start time.
     prestart: Vec<PendingHw<P::Msg>>,
@@ -193,8 +151,8 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
                     proto,
                     hw: HardwareClock::new(),
                     schedule,
-                    pending: HashMap::new(),
-                    timer_slots: HashMap::new(),
+                    pending: PendingSlab::new(),
+                    timer_slots: Vec::new(),
                     prestart: Vec::new(),
                     last_multiplier,
                 }
@@ -205,8 +163,10 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
             delay,
             now: 0.0,
             seq: 0,
-            next_pending_id: 0,
-            queue: BinaryHeap::new(),
+            // Pre-sized so the heap reaches its steady-state high-water
+            // mark without reallocating mid-run for typical workloads; it
+            // grows (and is then reused) beyond that.
+            queue: EventQueue::with_capacity(4 * n + 16),
             nodes,
             stats: MessageStats {
                 per_node_sends: vec![0; n],
@@ -215,7 +175,8 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
                 ..MessageStats::default()
             },
             sink: self.sink,
-            clock_buf: Vec::new(),
+            clock_buf: Vec::with_capacity(n),
+            action_buf: Vec::with_capacity(8),
             profile: self.profiling.then(Box::default),
         }
     }
@@ -239,13 +200,15 @@ pub struct Engine<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
     delay: D,
     now: f64,
     seq: u64,
-    next_pending_id: u64,
-    queue: BinaryHeap<QueuedEvent<P::Msg>>,
+    queue: EventQueue<EventKind<P::Msg>>,
     nodes: Vec<NodeState<P>>,
     stats: MessageStats,
     sink: S,
     /// Scratch buffer for per-event logical-clock snapshots.
     clock_buf: Vec<f64>,
+    /// Reusable action buffer lent to each protocol handler's [`Context`]
+    /// and drained by `apply_actions` — no per-event `Vec` allocation.
+    action_buf: Vec<Action<P::Msg>>,
     /// Phase timers, present only when profiling was requested (boxed to
     /// keep the common unprofiled engine small).
     profile: Option<Box<EngineProfile>>,
@@ -386,17 +349,17 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
 
     /// Time of the next queued event, if any.
     pub fn next_event_time(&self) -> Option<f64> {
-        self.queue.peek().map(|e| e.time)
+        self.queue.peek_time()
     }
 
     /// Processes the single next event (regardless of horizon); returns its
     /// time, or `None` if the queue is empty.
     pub fn step(&mut self) -> Option<f64> {
-        let event = self.queue.pop()?;
-        debug_assert!(event.time >= self.now - 1e-9, "event in the past");
+        let (time, kind) = self.queue.pop()?;
+        debug_assert!(time >= self.now - 1e-9, "event in the past");
         let started = self.profile.as_ref().map(|_| Instant::now());
-        self.now = self.now.max(event.time);
-        self.dispatch(event.kind);
+        self.now = self.now.max(time);
+        self.dispatch(kind);
         self.maybe_snapshot();
         if let (Some(profile), Some(started)) = (self.profile.as_deref_mut(), started) {
             profile.dispatch += started.elapsed();
@@ -488,14 +451,14 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         assert!(time.is_finite(), "non-finite event time");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent { time, seq, kind });
+        self.queue.push(time, seq, kind);
     }
 
     fn dispatch(&mut self, kind: EventKind<P::Msg>) {
         match kind {
             EventKind::Wake { node } => self.handle_wake(node),
             EventKind::Deliver { src, dst, msg } => self.handle_deliver(src, dst, msg),
-            EventKind::HwDue { node, id } => self.handle_hw_due(node, id),
+            EventKind::HwDue { node, slot, gen } => self.handle_hw_due(node, slot, gen),
             EventKind::RateStep { node, at } => self.handle_rate_step(node, at),
         }
     }
@@ -514,13 +477,14 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
             });
         }
         let started = self.profile.as_ref().map(|_| Instant::now());
-        let actions = {
-            let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
+        let mut actions = std::mem::take(&mut self.action_buf);
+        {
+            let mut ctx = Context::new(v, hw, self.graph.neighbors(v), &mut actions);
             self.nodes[v.index()].proto.on_start(&mut ctx);
-            ctx.actions
-        };
+        }
         self.note_protocol(started);
-        self.apply_actions(v, actions);
+        self.apply_actions(v, &mut actions);
+        self.action_buf = actions;
         self.note_multiplier(v);
     }
 
@@ -548,8 +512,9 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
             );
         }
         for item in prestart {
-            let id = self.add_pending(v, item);
-            self.schedule_hw_due(v, id);
+            let target = item.target();
+            let (slot, gen) = self.nodes[v.index()].pending.insert(item);
+            self.schedule_hw_due(v, slot, gen, target);
         }
     }
 
@@ -603,38 +568,46 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
             });
         }
         let started = self.profile.as_ref().map(|_| Instant::now());
-        let actions = {
-            let mut ctx = Context::new(dst, hw, self.graph.neighbors(dst));
+        let mut actions = std::mem::take(&mut self.action_buf);
+        {
+            let mut ctx = Context::new(dst, hw, self.graph.neighbors(dst), &mut actions);
             let proto = &mut self.nodes[dst.index()].proto;
             if fresh {
                 proto.on_start(&mut ctx);
             }
             proto.on_message(&mut ctx, src, msg);
-            ctx.actions
-        };
+        }
         self.note_protocol(started);
-        self.apply_actions(dst, actions);
+        self.apply_actions(dst, &mut actions);
+        self.action_buf = actions;
         self.note_multiplier(dst);
     }
 
-    fn handle_hw_due(&mut self, v: NodeId, id: u64) {
-        // Stale entries: the item may be gone (already fired / replaced), or
-        // not yet due (a rate slowdown pushed it later; a rescheduled entry
-        // exists at the correct later time).
-        let due = {
-            let node = &self.nodes[v.index()];
-            match node.pending.get(&id) {
-                None => return,
-                Some(item) => node.hw.value_at(self.now) >= item.target() - 1e-9,
+    fn handle_hw_due(&mut self, v: NodeId, slot: u32, gen: u32) {
+        // Stale entries: the item may be gone (already fired / replaced —
+        // detected O(1) by the generation mismatch), or not yet due (a rate
+        // slowdown pushed it later; the re-stamped entry exists at the
+        // correct later time, so this one is skipped on an arithmetic
+        // check — no hash lookups either way).
+        let node = &self.nodes[v.index()];
+        let due = match node.pending.target_of(slot, gen) {
+            None => {
+                self.note_stale();
+                return;
             }
+            Some(target) => node.hw.value_at(self.now) >= target - 1e-9,
         };
         if !due {
+            self.note_stale();
             return;
         }
-        let item = self.nodes[v.index()].pending.remove(&id).expect("checked");
+        let item = self.nodes[v.index()].pending.take(slot);
         match item {
             PendingHw::Timer { timer, .. } => {
-                self.nodes[v.index()].timer_slots.remove(&timer);
+                let node = &mut self.nodes[v.index()];
+                if let Some(pos) = node.timer_slots.iter().position(|&(t, _)| t == timer) {
+                    node.timer_slots.swap_remove(pos);
+                }
                 let hw = self.hardware_value(v);
                 if self.sink.enabled() {
                     self.sink.record(&EngineEvent::TimerFire {
@@ -645,13 +618,14 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                     });
                 }
                 let started = self.profile.as_ref().map(|_| Instant::now());
-                let actions = {
-                    let mut ctx = Context::new(v, hw, self.graph.neighbors(v));
+                let mut actions = std::mem::take(&mut self.action_buf);
+                {
+                    let mut ctx = Context::new(v, hw, self.graph.neighbors(v), &mut actions);
                     self.nodes[v.index()].proto.on_timer(&mut ctx, timer);
-                    ctx.actions
-                };
+                }
                 self.note_protocol(started);
-                self.apply_actions(v, actions);
+                self.apply_actions(v, &mut actions);
+                self.action_buf = actions;
                 self.note_multiplier(v);
             }
             PendingHw::Delivery { src, msg, .. } => {
@@ -660,8 +634,15 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         }
     }
 
-    fn apply_actions(&mut self, v: NodeId, actions: Vec<Action<P::Msg>>) {
-        for action in actions {
+    /// Counts a stale queue entry (profiling only).
+    fn note_stale(&mut self) {
+        if let Some(profile) = self.profile.as_deref_mut() {
+            profile.stale_events += 1;
+        }
+    }
+
+    fn apply_actions(&mut self, v: NodeId, actions: &mut Vec<Action<P::Msg>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
                     assert!(
@@ -691,8 +672,17 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                             hw,
                         });
                     }
-                    let neighbors: Vec<NodeId> = self.graph.neighbors(v).to_vec();
-                    for dst in neighbors {
+                    // Broadcast by index: `transmit` borrows `self` mutably,
+                    // so walk the adjacency slice positionally instead of
+                    // cloning it.
+                    let deg = self.graph.neighbors(v).len();
+                    for i in 0..deg {
+                        let dst = self.graph.neighbors(v)[i];
+                        if i + 1 == deg {
+                            // Last edge takes ownership — one fewer clone.
+                            self.transmit(v, dst, msg);
+                            break;
+                        }
                         self.transmit(v, dst, msg.clone());
                     }
                 }
@@ -700,8 +690,10 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                     self.set_timer(v, timer, target_hw);
                 }
                 Action::CancelTimer { timer } => {
-                    if let Some(id) = self.nodes[v.index()].timer_slots.remove(&timer) {
-                        self.nodes[v.index()].pending.remove(&id);
+                    let node = &mut self.nodes[v.index()];
+                    if let Some(pos) = node.timer_slots.iter().position(|&(t, _)| t == timer) {
+                        let (_, slot) = node.timer_slots.swap_remove(pos);
+                        node.pending.take(slot);
                         if self.sink.enabled() {
                             self.sink.record(&EngineEvent::TimerCancel {
                                 node: v,
@@ -717,20 +709,26 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
 
     fn transmit(&mut self, src: NodeId, dst: NodeId, msg: P::Msg) {
         self.stats.transmissions += 1;
-        let ctx = DelayCtx {
+        // Hardware readings are resolved lazily inside `DelayCtx`: delay
+        // models that never consult them cost zero clock evaluations here.
+        let ctx = DelayCtx::from_clocks(
             src,
             dst,
-            now: self.now,
-            src_hw: self.hardware_value(src),
-            dst_hw: self.hardware_value(dst),
-            graph: &self.graph,
-        };
-        let started = self.profile.as_ref().map(|_| Instant::now());
-        let delivery = self.delay.delivery(&ctx);
-        if let (Some(profile), Some(started)) = (self.profile.as_deref_mut(), started) {
+            self.now,
+            &self.nodes[src.index()].hw,
+            &self.nodes[dst.index()].hw,
+            &self.graph,
+        );
+        let delivery = if self.profile.is_some() {
+            let started = Instant::now();
+            let delivery = self.delay.delivery(&ctx);
+            let profile = self.profile.as_deref_mut().expect("profiling is on");
             profile.delay += started.elapsed();
             profile.delay_calls += 1;
-        }
+            delivery
+        } else {
+            self.delay.delivery(&ctx)
+        };
         match delivery {
             Delivery::Drop => {
                 self.stats.dropped += 1;
@@ -769,8 +767,8 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 }
                 let item = PendingHw::Delivery { src, msg, target };
                 if self.nodes[dst.index()].hw.is_started() {
-                    let id = self.add_pending(dst, item);
-                    self.schedule_hw_due(dst, id);
+                    let (slot, gen) = self.nodes[dst.index()].pending.insert(item);
+                    self.schedule_hw_due(dst, slot, gen, target);
                 } else {
                     // The receiver has no clock yet; activate at its start.
                     self.nodes[dst.index()].prestart.push(item);
@@ -782,11 +780,13 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     fn set_timer(&mut self, v: NodeId, timer: TimerId, target: f64) {
         assert!(target.is_finite(), "non-finite timer target");
         // Replace any previous target in this slot.
-        if let Some(old) = self.nodes[v.index()].timer_slots.remove(&timer) {
-            self.nodes[v.index()].pending.remove(&old);
+        let node = &mut self.nodes[v.index()];
+        if let Some(pos) = node.timer_slots.iter().position(|&(t, _)| t == timer) {
+            let (_, old) = node.timer_slots.swap_remove(pos);
+            node.pending.take(old);
         }
-        let id = self.add_pending(v, PendingHw::Timer { timer, target });
-        self.nodes[v.index()].timer_slots.insert(timer, id);
+        let (slot, gen) = node.pending.insert(PendingHw::Timer { timer, target });
+        node.timer_slots.push((timer, slot));
         if self.sink.enabled() {
             self.sink.record(&EngineEvent::TimerSet {
                 node: v,
@@ -795,34 +795,31 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 t: self.now,
             });
         }
-        self.schedule_hw_due(v, id);
+        self.schedule_hw_due(v, slot, gen, target);
     }
 
-    fn add_pending(&mut self, v: NodeId, item: PendingHw<P::Msg>) -> u64 {
-        let id = self.next_pending_id;
-        self.next_pending_id += 1;
-        self.nodes[v.index()].pending.insert(id, item);
-        id
-    }
-
-    fn schedule_hw_due(&mut self, v: NodeId, id: u64) {
-        let target = self.nodes[v.index()].pending[&id].target();
+    fn schedule_hw_due(&mut self, v: NodeId, slot: u32, gen: u32, target: f64) {
         let t = self.nodes[v.index()]
             .hw
             .time_when(target)
             .expect("node is started")
             .max(self.now);
-        self.push(t, EventKind::HwDue { node: v, id });
+        self.push(t, EventKind::HwDue { node: v, slot, gen });
     }
 
     fn reschedule_pending(&mut self, v: NodeId) {
-        let mut ids: Vec<u64> = self.nodes[v.index()].pending.keys().copied().collect();
-        // HashMap iteration order varies between instances; sort so that the
-        // requeue order — and hence the engine's tie-broken event sequence —
-        // is identical across same-seed runs (byte-identical event streams).
-        ids.sort_unstable();
-        for id in ids {
-            self.schedule_hw_due(v, id);
+        // Walk live items in creation order — the same ascending-unique-id
+        // order the engine historically got from collecting and sorting
+        // `HashMap` keys, so the requeue order (and hence the tie-broken,
+        // byte-identical event stream) is preserved without allocating.
+        // Re-stamped entries keep their generation: the superseded entry is
+        // recognised as stale by the arithmetic due-check on pop, exactly as
+        // before.
+        let mut cursor = self.nodes[v.index()].pending.first();
+        while let Some(slot) = cursor {
+            let (gen, target, next) = self.nodes[v.index()].pending.cursor(slot);
+            self.schedule_hw_due(v, slot, gen, target);
+            cursor = next;
         }
     }
 }

@@ -68,8 +68,10 @@
 
 mod delay;
 mod engine;
+mod pending;
 pub mod profile;
 mod protocol;
+mod queue;
 pub mod rates;
 pub mod sink;
 mod ticked;

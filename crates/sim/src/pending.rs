@@ -1,0 +1,278 @@
+//! Slab-backed storage for pending hardware-value items.
+//!
+//! Each node owns a [`PendingSlab`] holding its in-flight hardware-value
+//! items — armed timers and receiver-hardware-targeted deliveries. The
+//! engine's hot path hits this store on every timer fire, every
+//! `AtReceiverHw` delivery, and every rate change, so the design goal is
+//! **zero steady-state allocation and no hashing**:
+//!
+//! * items live in a slab (`Vec` of slots) with an intrusive free list —
+//!   inserting reuses a freed slot, so capacity only grows to the
+//!   high-water mark of concurrently pending items (2–3 for `A^opt`);
+//! * each slot carries a **generation**, bumped on every insert. A queue
+//!   entry referencing `(slot, gen)` is validated by one array index and
+//!   one integer compare — fired or replaced items are skipped O(1), with
+//!   no hash lookups;
+//! * live slots are threaded on an intrusive doubly-linked list in
+//!   **creation order**. Rescheduling after a rate change walks this list,
+//!   which reproduces exactly the ascending-unique-id order the engine
+//!   historically got from collecting and sorting `HashMap` keys — the
+//!   tie-breaking order of requeued events, and hence the byte-identical
+//!   event stream, is preserved without the per-rate-step allocate+sort.
+//!
+//! The `(slot, generation)` pair is a drop-in replacement for the old
+//! engine-global unique pending id: a generation matches at most one item
+//! ever stored in that slot, so staleness checks have the same semantics
+//! as the old `HashMap::get(id)` miss.
+
+use gcs_graph::NodeId;
+
+use crate::protocol::TimerId;
+
+/// A pending hardware-value item: fires when the owning node's hardware
+/// clock reaches `target`.
+#[derive(Debug, Clone)]
+pub(crate) enum PendingHw<M> {
+    /// An armed timer slot.
+    Timer {
+        /// The protocol-chosen timer slot.
+        timer: TimerId,
+        /// Hardware reading at which it fires.
+        target: f64,
+    },
+    /// A delivery addressed to a receiver hardware reading.
+    Delivery {
+        /// Sending node.
+        src: NodeId,
+        /// The message.
+        msg: M,
+        /// Receiver hardware reading at which it is delivered.
+        target: f64,
+    },
+}
+
+impl<M> PendingHw<M> {
+    /// The hardware reading at which this item fires.
+    pub(crate) fn target(&self) -> f64 {
+        match self {
+            PendingHw::Timer { target, .. } => *target,
+            PendingHw::Delivery { target, .. } => *target,
+        }
+    }
+}
+
+/// Sentinel for "no slot" in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<M> {
+    /// Bumped on every insert into this slot; queue entries referencing an
+    /// older generation are stale.
+    gen: u32,
+    /// Previous live slot in creation order (`NIL` at the head).
+    prev: u32,
+    /// Next live slot in creation order when occupied; next free slot when
+    /// on the free list.
+    next: u32,
+    /// The item, `None` while the slot is on the free list.
+    item: Option<PendingHw<M>>,
+}
+
+/// The per-node pending-item store. See the module docs for the design.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingSlab<M> {
+    slots: Vec<Slot<M>>,
+    /// Head of the free list (`NIL` when every slot is occupied).
+    free_head: u32,
+    /// Oldest live slot in creation order.
+    head: u32,
+    /// Newest live slot in creation order.
+    tail: u32,
+    len: usize,
+}
+
+impl<M> PendingSlab<M> {
+    pub(crate) fn new() -> Self {
+        PendingSlab {
+            slots: Vec::new(),
+            free_head: NIL,
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live items.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Stores `item`, appending it to the creation-ordered live list.
+    /// Returns the slot index and the slot's fresh generation.
+    pub(crate) fn insert(&mut self, item: PendingHw<M>) -> (u32, u32) {
+        let slot = if self.free_head != NIL {
+            let s = self.free_head;
+            self.free_head = self.slots[s as usize].next;
+            s
+        } else {
+            debug_assert!(self.slots.len() < NIL as usize, "pending slab full");
+            self.slots.push(Slot {
+                gen: 0,
+                prev: NIL,
+                next: NIL,
+                item: None,
+            });
+            (self.slots.len() - 1) as u32
+        };
+        let tail = self.tail;
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.item = Some(item);
+        s.prev = tail;
+        s.next = NIL;
+        let gen = s.gen;
+        if tail != NIL {
+            self.slots[tail as usize].next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        self.len += 1;
+        (slot, gen)
+    }
+
+    /// O(1) staleness check for a queue entry: the target of the item at
+    /// `slot`, or `None` if the entry is stale (the item fired or was
+    /// replaced — the generation no longer matches).
+    pub(crate) fn target_of(&self, slot: u32, gen: u32) -> Option<f64> {
+        let s = self.slots.get(slot as usize)?;
+        if s.gen != gen {
+            return None;
+        }
+        s.item.as_ref().map(PendingHw::target)
+    }
+
+    /// Removes and returns the live item at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free — callers must hold a validated slot
+    /// (from [`PendingSlab::target_of`] or the timer index).
+    pub(crate) fn take(&mut self, slot: u32) -> PendingHw<M> {
+        let s = &mut self.slots[slot as usize];
+        let item = s.item.take().expect("take on a free pending slot");
+        let (prev, next) = (s.prev, s.next);
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[slot as usize].next = self.free_head;
+        self.free_head = slot;
+        self.len -= 1;
+        item
+    }
+
+    /// Oldest live slot in creation order, if any.
+    pub(crate) fn first(&self) -> Option<u32> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// The creation-order successor of live slot `slot`, plus the slot's
+    /// generation and target — the engine's rescheduling cursor.
+    pub(crate) fn cursor(&self, slot: u32) -> (u32, f64, Option<u32>) {
+        let s = &self.slots[slot as usize];
+        let item = s.item.as_ref().expect("cursor on a free pending slot");
+        let next = (s.next != NIL).then_some(s.next);
+        (s.gen, item.target(), next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(id: u32, target: f64) -> PendingHw<()> {
+        PendingHw::Timer {
+            timer: TimerId(id),
+            target,
+        }
+    }
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut slab = PendingSlab::new();
+        let (s0, g0) = slab.insert(timer(0, 1.0));
+        let (s1, g1) = slab.insert(timer(1, 2.0));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.target_of(s0, g0), Some(1.0));
+        assert_eq!(slab.target_of(s1, g1), Some(2.0));
+        match slab.take(s0) {
+            PendingHw::Timer { timer, target } => {
+                assert_eq!(timer, TimerId(0));
+                assert_eq!(target, 1.0);
+            }
+            _ => panic!("wrong item"),
+        }
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.target_of(s0, g0), None, "fired item is stale");
+    }
+
+    #[test]
+    fn reused_slot_invalidates_old_generation() {
+        let mut slab = PendingSlab::new();
+        let (s0, g0) = slab.insert(timer(0, 1.0));
+        slab.take(s0);
+        let (s0b, g0b) = slab.insert(timer(1, 3.0));
+        assert_eq!(s0, s0b, "freed slot is reused");
+        assert_ne!(g0, g0b, "reuse bumps the generation");
+        assert_eq!(slab.target_of(s0, g0), None, "old entry is stale");
+        assert_eq!(slab.target_of(s0b, g0b), Some(3.0));
+    }
+
+    #[test]
+    fn iteration_is_in_creation_order_across_reuse() {
+        let mut slab = PendingSlab::new();
+        let (a, _) = slab.insert(timer(0, 1.0));
+        let (_b, _) = slab.insert(timer(1, 2.0));
+        let (_c, _) = slab.insert(timer(2, 3.0));
+        slab.take(a); // frees the lowest slot index
+        let (d, _) = slab.insert(timer(3, 4.0)); // reuses slot `a`...
+        assert_eq!(d, a);
+        // ...but creation order puts it last, not first.
+        let mut order = Vec::new();
+        let mut cursor = slab.first();
+        while let Some(slot) = cursor {
+            let (_, target, next) = slab.cursor(slot);
+            order.push(target);
+            cursor = next;
+        }
+        assert_eq!(order, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn capacity_tracks_high_water_mark_only() {
+        let mut slab = PendingSlab::new();
+        for round in 0..100 {
+            let (s, g) = slab.insert(timer(0, round as f64));
+            assert_eq!(slab.target_of(s, g), Some(round as f64));
+            slab.take(s);
+        }
+        assert_eq!(slab.slots.len(), 1, "single-item churn needs one slot");
+        assert_eq!(slab.len(), 0);
+    }
+
+    #[test]
+    fn empty_slab_reports_all_entries_stale() {
+        let slab: PendingSlab<()> = PendingSlab::new();
+        assert_eq!(slab.first(), None);
+        assert_eq!(slab.target_of(0, 1), None);
+        assert_eq!(slab.len(), 0);
+    }
+}

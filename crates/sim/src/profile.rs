@@ -38,6 +38,9 @@ pub struct EngineProfile {
     pub snapshot: Duration,
     /// Snapshots delivered to the sink.
     pub snapshots: u64,
+    /// Stale `HwDue` queue entries skipped (superseded by a later insert or
+    /// a rate-change re-stamp) — included in `events`.
+    pub stale_events: u64,
 }
 
 impl EngineProfile {
@@ -97,6 +100,9 @@ impl fmt::Display for EngineProfile {
                 calls,
             )?;
         }
+        if self.stale_events > 0 {
+            writeln!(f, "  ({} stale queue entries skipped)", self.stale_events)?;
+        }
         Ok(())
     }
 }
@@ -116,6 +122,7 @@ mod tests {
             delay_calls: 2,
             snapshot: Duration::from_millis(20),
             snapshots: 4,
+            stale_events: 0,
         };
         assert_eq!(p.other(), Duration::from_millis(30));
         assert_eq!(p.per_event(), Duration::from_millis(25));

@@ -70,22 +70,29 @@ pub(crate) enum Action<M> {
 /// Handle through which a protocol observes its environment and acts.
 ///
 /// Actions are buffered and applied by the engine after the handler
-/// returns, in the order they were issued.
+/// returns, in the order they were issued. The buffer is owned by the
+/// engine and reused across events, so handlers allocate nothing in
+/// steady state.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     node: NodeId,
     hw: f64,
     neighbors: &'a [NodeId],
-    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
 }
 
 impl<'a, M> Context<'a, M> {
-    pub(crate) fn new(node: NodeId, hw: f64, neighbors: &'a [NodeId]) -> Self {
+    pub(crate) fn new(
+        node: NodeId,
+        hw: f64,
+        neighbors: &'a [NodeId],
+        actions: &'a mut Vec<Action<M>>,
+    ) -> Self {
         Context {
             node,
             hw,
             neighbors,
-            actions: Vec::new(),
+            actions,
         }
     }
 

@@ -61,6 +61,9 @@ pub struct Ticked<P: Protocol> {
     inner: P,
     period: f64,
     buffer: Vec<(NodeId, P::Msg)>,
+    /// Scratch the tick handler drains `buffer` through, so both vectors
+    /// keep their capacity across ticks (no steady-state allocation).
+    batch: Vec<(NodeId, P::Msg)>,
 }
 
 impl<P: Protocol> Ticked<P> {
@@ -78,6 +81,7 @@ impl<P: Protocol> Ticked<P> {
             inner,
             period,
             buffer: Vec::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -100,7 +104,7 @@ impl<P: Protocol> Ticked<P> {
     /// Rounds the targets of any timers the inner protocol armed up to the
     /// tick grid (the engine fires them exactly, so rounding here suffices).
     fn quantize_actions(&self, ctx: &mut Context<'_, P::Msg>) {
-        for action in &mut ctx.actions {
+        for action in ctx.actions.iter_mut() {
             if let Action::SetTimer { timer, target_hw } = action {
                 assert_ne!(*timer, TICK_SLOT, "inner protocol used the tick slot");
                 *target_hw = self.round_up(*target_hw);
@@ -126,9 +130,12 @@ impl<P: Protocol> Protocol for Ticked<P> {
 
     fn on_timer(&mut self, ctx: &mut Context<'_, P::Msg>, timer: TimerId) {
         if timer == TICK_SLOT {
-            for (from, msg) in std::mem::take(&mut self.buffer) {
+            let mut batch = std::mem::take(&mut self.batch);
+            std::mem::swap(&mut batch, &mut self.buffer);
+            for (from, msg) in batch.drain(..) {
                 self.inner.on_message(ctx, from, msg);
             }
+            self.batch = batch;
         } else {
             self.inner.on_timer(ctx, timer);
         }

@@ -1,0 +1,54 @@
+//! Golden-fixture pin of the engine's event stream.
+//!
+//! `tests/fixtures/f2_wavefront_events.jsonl` is the committed `--events`
+//! log of one F2 wavefront run (`gcs run --topology path:8 --delays
+//! wavefront --rates gradient --eps 0.05 --t 0.5 --horizon 40`). This test
+//! re-runs the identical configuration in-process and asserts the produced
+//! stream is **byte-identical** to the fixture.
+//!
+//! The point is to freeze the engine's determinism contract across hot-path
+//! refactors: event ordering is tie-broken by queue insertion sequence, so
+//! any change to how `HwDue` entries are stored, requeued after a rate
+//! change, or validated on pop shows up here as a byte diff — it cannot
+//! slip through silently.
+
+use gcs_analysis::JsonlWriter;
+use gcs_core::{AOpt, Params};
+use gcs_sim::Engine;
+use gcs_sweep::{build_delay, build_rates, parse_topology};
+use gcs_time::DriftBounds;
+
+const FIXTURE: &str = include_str!("fixtures/f2_wavefront_events.jsonl");
+
+#[test]
+fn wavefront_event_stream_is_byte_identical_to_fixture() {
+    // Mirrors `gcs run`'s construction for the fixture's flag set.
+    let (eps, t, seed) = (0.05, 0.5, 42);
+    let graph = parse_topology("path:8", seed).expect("valid topology");
+    let n = graph.len();
+    let drift = DriftBounds::new(eps).expect("valid drift");
+    let params = Params::recommended(eps, t).expect("valid params");
+    let (delay, min_horizon) = build_delay("wavefront", &graph, t, eps, seed).expect("valid delay");
+    let horizon = 40.0_f64.max(min_horizon);
+    let schedules = build_rates("gradient", &graph, drift, horizon, seed).expect("valid rates");
+
+    let mut engine = Engine::builder(graph)
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(delay)
+        .rate_schedules(schedules)
+        .event_sink(JsonlWriter::new(Vec::<u8>::new()))
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until(horizon);
+    let bytes = engine.into_sink().finish().expect("Vec sink cannot fail");
+
+    let produced = String::from_utf8(bytes).expect("stream is UTF-8");
+    assert!(
+        produced == FIXTURE,
+        "event stream diverged from the golden fixture\n{}",
+        match gcs_analysis::diff_streams(FIXTURE, &produced) {
+            Some(diff) => format!("{diff:?}"),
+            None => "streams differ only in trailing bytes".to_string(),
+        }
+    );
+}

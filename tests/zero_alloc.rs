@@ -1,0 +1,78 @@
+//! Allocation-regression pin of the engine's steady-state hot path.
+//!
+//! A counting global allocator wraps `System`; after warming an F2
+//! wavefront run past its flip, 10 000 further events must dispatch with
+//! **zero** heap allocations. Every per-event allocation the hot path used
+//! to make — the pending `HashMap` inserts, the fresh `Vec<Action>` per
+//! handler, the `neighbors.to_vec()` broadcast clone, the collect-and-sort
+//! in rate-change rescheduling — would trip this test if reintroduced.
+//!
+//! This file holds a single `#[test]` on purpose: the allocator count is
+//! process-global, and a sibling test thread would pollute the window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gcs_adversary::WavefrontDelay;
+use gcs_core::{AOpt, Params};
+use gcs_graph::{topology, NodeId};
+use gcs_sim::Engine;
+use gcs_sweep::build_rates;
+
+/// Counts every allocation (alloc + realloc) made by the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_window_makes_no_heap_allocations() {
+    // The engine_hotpath bench fixture at n = 64: A^opt on a path under the
+    // wavefront adversary with distance-split drift.
+    let (eps, t_max, flip) = (0.02, 0.25, 30.0);
+    let n = 64;
+    let warmup_horizon = 40.0;
+    let graph = topology::path(n);
+    let boundary = (graph.diameter() / 2).max(1);
+    let delay = WavefrontDelay::new(&graph, NodeId(0), t_max, flip, boundary);
+    let drift = gcs_time::DriftBounds::new(eps).unwrap();
+    let schedules = build_rates("distsplit", &graph, drift, warmup_horizon, 0).unwrap();
+    let params = Params::recommended(eps, t_max).unwrap();
+    let mut engine = Engine::builder(graph)
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(delay)
+        .rate_schedules(schedules)
+        .build();
+    engine.wake_all_at(0.0);
+    // Warm past the wavefront flip: every buffer reaches its high-water
+    // capacity (event queue, action buffer, pending slabs, A^opt state).
+    engine.run_until(warmup_horizon);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        engine
+            .step()
+            .expect("the wavefront fixture never drains its queue");
+    }
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "engine hot path allocated {allocated} times across a 10k-event steady-state window"
+    );
+}
