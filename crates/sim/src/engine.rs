@@ -46,7 +46,7 @@ enum EventKind<M> {
     /// A hardware-value item (timer or hw-targeted delivery) may be due.
     /// `(slot, gen)` addresses the item in the node's [`PendingSlab`]; a
     /// generation mismatch marks the entry stale in O(1).
-    HwDue { node: NodeId, slot: u32, gen: u32 },
+    HwDue { node: NodeId, slot: u32, gen: u64 },
     /// Apply the next step of the node's pre-configured rate schedule.
     RateStep { node: NodeId, at: f64 },
 }
@@ -583,7 +583,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         self.note_multiplier(dst);
     }
 
-    fn handle_hw_due(&mut self, v: NodeId, slot: u32, gen: u32) {
+    fn handle_hw_due(&mut self, v: NodeId, slot: u32, gen: u64) {
         // Stale entries: the item may be gone (already fired / replaced —
         // detected O(1) by the generation mismatch), or not yet due (a rate
         // slowdown pushed it later; the re-stamped entry exists at the
@@ -798,7 +798,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         self.schedule_hw_due(v, slot, gen, target);
     }
 
-    fn schedule_hw_due(&mut self, v: NodeId, slot: u32, gen: u32, target: f64) {
+    fn schedule_hw_due(&mut self, v: NodeId, slot: u32, gen: u64, target: f64) {
         let t = self.nodes[v.index()]
             .hw
             .time_when(target)

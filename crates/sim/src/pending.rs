@@ -67,8 +67,9 @@ const NIL: u32 = u32::MAX;
 #[derive(Debug, Clone)]
 struct Slot<M> {
     /// Bumped on every insert into this slot; queue entries referencing an
-    /// older generation are stale.
-    gen: u32,
+    /// older generation are stale. `u64` so it never wraps in practice —
+    /// a reused `u32` could ABA-match a very old stale queue entry.
+    gen: u64,
     /// Previous live slot in creation order (`NIL` at the head).
     prev: u32,
     /// Next live slot in creation order when occupied; next free slot when
@@ -110,13 +111,16 @@ impl<M> PendingSlab<M> {
 
     /// Stores `item`, appending it to the creation-ordered live list.
     /// Returns the slot index and the slot's fresh generation.
-    pub(crate) fn insert(&mut self, item: PendingHw<M>) -> (u32, u32) {
+    pub(crate) fn insert(&mut self, item: PendingHw<M>) -> (u32, u64) {
         let slot = if self.free_head != NIL {
             let s = self.free_head;
             self.free_head = self.slots[s as usize].next;
             s
         } else {
-            debug_assert!(self.slots.len() < NIL as usize, "pending slab full");
+            // Index `NIL` would collide with the list sentinel and silently
+            // corrupt the intrusive lists; this runs once per slab growth,
+            // never on the steady-state path, so a hard assert is free.
+            assert!(self.slots.len() < NIL as usize, "pending slab full");
             self.slots.push(Slot {
                 gen: 0,
                 prev: NIL,
@@ -127,7 +131,7 @@ impl<M> PendingSlab<M> {
         };
         let tail = self.tail;
         let s = &mut self.slots[slot as usize];
-        s.gen = s.gen.wrapping_add(1);
+        s.gen += 1;
         s.item = Some(item);
         s.prev = tail;
         s.next = NIL;
@@ -145,7 +149,7 @@ impl<M> PendingSlab<M> {
     /// O(1) staleness check for a queue entry: the target of the item at
     /// `slot`, or `None` if the entry is stale (the item fired or was
     /// replaced — the generation no longer matches).
-    pub(crate) fn target_of(&self, slot: u32, gen: u32) -> Option<f64> {
+    pub(crate) fn target_of(&self, slot: u32, gen: u64) -> Option<f64> {
         let s = self.slots.get(slot as usize)?;
         if s.gen != gen {
             return None;
@@ -186,7 +190,7 @@ impl<M> PendingSlab<M> {
 
     /// The creation-order successor of live slot `slot`, plus the slot's
     /// generation and target — the engine's rescheduling cursor.
-    pub(crate) fn cursor(&self, slot: u32) -> (u32, f64, Option<u32>) {
+    pub(crate) fn cursor(&self, slot: u32) -> (u64, f64, Option<u32>) {
         let s = &self.slots[slot as usize];
         let item = s.item.as_ref().expect("cursor on a free pending slot");
         let next = (s.next != NIL).then_some(s.next);

@@ -163,9 +163,17 @@ mod tests {
         for round in 0..100u64 {
             q.push(round as f64, 2 * round, round);
             q.push(round as f64 + 0.5, 2 * round + 1, round + 1000);
+            // Pops drain the merged stream in global sorted order, so the
+            // r-th pop returns time r/2: an on-the-round entry when r is
+            // even, the +0.5 entry of round r/2 when r is odd.
             let (t, v) = q.pop().unwrap();
-            assert_eq!(t, round as f64);
-            assert_eq!(v, round);
+            if round % 2 == 0 {
+                assert_eq!(t, (round / 2) as f64);
+                assert_eq!(v, round / 2);
+            } else {
+                assert_eq!(t, (round / 2) as f64 + 0.5);
+                assert_eq!(v, round / 2 + 1000);
+            }
         }
         assert_eq!(q.len(), 100);
         // Slab never grew past the high-water mark of live entries.
