@@ -87,12 +87,19 @@ impl BenchReport {
         out
     }
 
-    /// Writes `BENCH_<name>.json` into the current directory (for `cargo
-    /// bench`, the crate root) and returns the file name.
+    /// Writes `BENCH_<name>.json` into the workspace root (so artifacts
+    /// from every bench crate land in one tracked place) and returns the
+    /// path written.
     pub fn write(&self) -> io::Result<String> {
-        let path = format!("BENCH_{}.json", self.name);
+        // crates/bench/ → workspace root. Compile-time, so the artifact
+        // lands in the repo no matter where `cargo bench` is invoked from.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crates/bench has a workspace root two levels up");
+        let path = root.join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        Ok(path.display().to_string())
     }
 }
 

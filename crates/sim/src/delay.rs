@@ -46,6 +46,14 @@ enum HwSource<'a> {
     Reading(f64),
     /// Evaluate the clock when (and only when) the reading is requested.
     Clock(&'a HardwareClock),
+    /// No reading exists. Requesting it is a contract violation and panics:
+    /// the parallel engine uses this for the receiver clock on
+    /// cross-partition sends, where the owner partition may have advanced the
+    /// receiver past this partition's stale replica. Models advertising a
+    /// lookahead promise never to consult `dst_hw` (see
+    /// [`DelayModel::lookahead_at`]), so the panic only fires on a broken
+    /// promise — never on a correct model.
+    Unavailable,
 }
 
 impl HwSource<'_> {
@@ -53,6 +61,11 @@ impl HwSource<'_> {
         match self {
             HwSource::Reading(hw) => *hw,
             HwSource::Clock(clock) => clock.value_at(now),
+            HwSource::Unavailable => panic!(
+                "delay model consulted the receiver's hardware clock on a \
+                 cross-partition send; models that advertise a lookahead \
+                 must not read dst_hw"
+            ),
         }
     }
 }
@@ -116,6 +129,26 @@ impl<'a> DelayCtx<'a> {
         }
     }
 
+    /// Like [`DelayCtx::from_clocks`], but for a cross-partition send in the
+    /// parallel engine: the receiver lives on another partition, so its
+    /// clock replica here may be stale and no reading is offered at all.
+    pub(crate) fn from_clocks_remote_dst(
+        src: NodeId,
+        dst: NodeId,
+        now: f64,
+        src_clock: &'a HardwareClock,
+        graph: &'a Graph,
+    ) -> Self {
+        DelayCtx {
+            src,
+            dst,
+            now,
+            src_hw: HwSource::Clock(src_clock),
+            dst_hw: HwSource::Unavailable,
+            graph,
+        }
+    }
+
     /// Sender's hardware-clock reading at send time.
     pub fn src_hw(&self) -> f64 {
         self.src_hw.resolve(self.now)
@@ -125,6 +158,34 @@ impl<'a> DelayCtx<'a> {
     pub fn dst_hw(&self) -> f64 {
         self.dst_hw.resolve(self.now)
     }
+}
+
+/// A conservative-lookahead promise made by a [`DelayModel`], consumed by
+/// the windowed parallel engine (see `docs/PARALLEL.md`).
+///
+/// A model returning `Some(Lookahead { floor, valid_until })` from
+/// [`DelayModel::lookahead_at`] guarantees that for every send at a time in
+/// `[now, valid_until)`:
+///
+/// * the delivery is [`Delivery::After(d)`](Delivery::After) with
+///   `d >= floor` — never [`Delivery::AtReceiverHw`];
+/// * the delivery is a *pure function* of the [`DelayCtx`] — independent of
+///   call order and of calls on cloned copies of the model (which rules out
+///   models drawing from an RNG stream), and it never consults
+///   [`DelayCtx::dst_hw`] (the receiver may live on another partition whose
+///   replica of its clock is stale).
+///
+/// `floor` is the conservative lookahead: no message sent inside a time
+/// window of width `floor` can be delivered within that same window, so
+/// graph partitions can process such a window independently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lookahead {
+    /// Positive lower bound on every delay in the validity span.
+    pub floor: f64,
+    /// First instant at which the promise expires (`f64::INFINITY` for
+    /// time-invariant models). The parallel engine re-queries at expiry and
+    /// falls back to the sequential loop if the promise is gone.
+    pub valid_until: f64,
 }
 
 /// Chooses message deliveries. Implementations play the adversary (or a
@@ -139,6 +200,38 @@ pub trait DelayModel {
     /// model returning `None` makes no static promise.
     fn uncertainty(&self) -> Option<f64> {
         None
+    }
+
+    /// A static lower bound on every delay this model will ever produce,
+    /// or `None` if the model cannot promise one (it may return `0`, use
+    /// [`Delivery::AtReceiverHw`], or depend on call order — e.g. an RNG
+    /// stream, which clones differently onto partitions than it plays out
+    /// sequentially).
+    ///
+    /// `Some(0.0)` is a valid answer ("delays are bounded below by zero");
+    /// only a *strictly positive* floor enables parallel execution. The
+    /// default is `None`: pure opt-in, every existing model stays sequential
+    /// until it explicitly promises a floor.
+    fn min_delay(&self) -> Option<f64> {
+        None
+    }
+
+    /// The lookahead promise in effect at time `now`, if any.
+    ///
+    /// The default derives a time-invariant promise from
+    /// [`DelayModel::min_delay`]: a strictly positive static floor holds
+    /// forever. Time-varying adversaries (e.g. a wavefront that flips to
+    /// zero delays at a known instant) override this to bound the promise's
+    /// validity; the parallel engine merges back to the sequential loop when
+    /// a promise expires without a successor.
+    fn lookahead_at(&self, now: f64) -> Option<Lookahead> {
+        let _ = now;
+        self.min_delay()
+            .filter(|floor| *floor > 0.0)
+            .map(|floor| Lookahead {
+                floor,
+                valid_until: f64::INFINITY,
+            })
     }
 }
 
@@ -169,6 +262,10 @@ impl DelayModel for ConstantDelay {
     }
 
     fn uncertainty(&self) -> Option<f64> {
+        Some(self.delay)
+    }
+
+    fn min_delay(&self) -> Option<f64> {
         Some(self.delay)
     }
 }
@@ -297,6 +394,14 @@ impl DelayModel for DirectionalDelay {
 
     fn uncertainty(&self) -> Option<f64> {
         Some(self.t_max)
+    }
+
+    fn min_delay(&self) -> Option<f64> {
+        // Pure function of the edge direction; the floor is the smaller leg.
+        // The paper's `E₁` sets one leg to 0, so this usually stays
+        // sequential — correctly so, since 0-delay messages defeat any
+        // window width.
+        Some(self.toward.min(self.away))
     }
 }
 
@@ -475,6 +580,86 @@ mod tests {
     #[should_panic(expected = "invalid loss rate")]
     fn lossy_delay_rejects_certain_loss() {
         let _ = LossyDelay::new(ConstantDelay::new(0.1), 1.0, 5);
+    }
+
+    #[test]
+    fn constant_delay_promises_its_delay_as_floor() {
+        let m = ConstantDelay::new(0.25);
+        assert_eq!(m.min_delay(), Some(0.25));
+        assert_eq!(
+            m.lookahead_at(0.0),
+            Some(Lookahead {
+                floor: 0.25,
+                valid_until: f64::INFINITY
+            })
+        );
+        // The promise is time-invariant.
+        assert_eq!(m.lookahead_at(0.0), m.lookahead_at(1e9));
+    }
+
+    #[test]
+    fn zero_constant_delay_offers_no_lookahead() {
+        // `min_delay` truthfully reports the floor (0), but the derived
+        // lookahead filters it out: a 0-width window cannot advance, so the
+        // engine must fall back to the sequential loop.
+        let m = ConstantDelay::new(0.0);
+        assert_eq!(m.min_delay(), Some(0.0));
+        assert_eq!(m.lookahead_at(0.0), None);
+    }
+
+    #[test]
+    fn uniform_delay_promises_nothing() {
+        // Uniform draws from an RNG stream: replaying the stream on cloned
+        // partition-local copies would diverge from the sequential order,
+        // and the infimum of the support is 0 anyway.
+        let m = UniformDelay::new(0.5, 9);
+        assert_eq!(m.min_delay(), None);
+        assert_eq!(m.lookahead_at(0.0), None);
+    }
+
+    #[test]
+    fn bimodal_delay_promises_nothing() {
+        let m = BimodalDelay::new(0.5, 0.5, 3);
+        assert_eq!(m.min_delay(), None);
+        assert_eq!(m.lookahead_at(0.0), None);
+    }
+
+    #[test]
+    fn directional_delay_floor_is_the_smaller_leg() {
+        let g = topology::path(3);
+        let m = DirectionalDelay::new(&g, NodeId(0), 0.5, 0.2);
+        assert_eq!(m.min_delay(), Some(0.2));
+        assert_eq!(
+            m.lookahead_at(0.0).map(|la| la.floor),
+            Some(0.2),
+            "positive floor yields a usable lookahead"
+        );
+        // The paper's E₁ shape (one leg at 0) truthfully reports floor 0 and
+        // therefore no lookahead — sequential fallback, not a wrong answer.
+        let e1 = DirectionalDelay::new(&g, NodeId(0), 0.5, 0.0);
+        assert_eq!(e1.min_delay(), Some(0.0));
+        assert_eq!(e1.lookahead_at(0.0), None);
+    }
+
+    #[test]
+    fn lossy_delay_promises_nothing_even_over_a_constant_inner() {
+        // Loss decisions come from an RNG stream, so delivery is call-order
+        // dependent even though the inner model has a positive floor.
+        let m = LossyDelay::new(ConstantDelay::new(0.2), 0.3, 5);
+        assert_eq!(m.min_delay(), None);
+        assert_eq!(m.lookahead_at(0.0), None);
+    }
+
+    #[test]
+    fn fn_delay_promises_nothing() {
+        // Arbitrary closures may use `AtReceiverHw` (the paper's shifting
+        // adversary) or return 0; no promise can be made for them.
+        let m = FnDelay::new(
+            |c: &DelayCtx<'_>| Delivery::AtReceiverHw(c.src_hw() + 1.0),
+            Some(1.0),
+        );
+        assert_eq!(m.min_delay(), None);
+        assert_eq!(m.lookahead_at(0.0), None);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub struct MessageStats {
 }
 
 #[derive(Debug, Clone)]
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     /// Spontaneous initialization of a node.
     Wake { node: NodeId },
     /// Real-time message delivery.
@@ -51,8 +51,20 @@ enum EventKind<M> {
     RateStep { node: NodeId, at: f64 },
 }
 
+impl<M> EventKind<M> {
+    /// The node on which this event executes — the partition router's key.
+    pub(crate) fn home(&self) -> NodeId {
+        match self {
+            EventKind::Wake { node }
+            | EventKind::HwDue { node, .. }
+            | EventKind::RateStep { node, .. } => *node,
+            EventKind::Deliver { dst, .. } => *dst,
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
-struct NodeState<P: Protocol> {
+pub(crate) struct NodeState<P: Protocol> {
     proto: P,
     hw: HardwareClock,
     schedule: RateSchedule,
@@ -178,6 +190,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
             clock_buf: Vec::with_capacity(n),
             action_buf: Vec::with_capacity(8),
             profile: self.profiling.then(Box::default),
+            remote: None,
         }
     }
 }
@@ -196,22 +209,27 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
 /// [`sink`](crate::sink) module docs.
 #[derive(Debug, Clone)]
 pub struct Engine<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
-    graph: Graph,
-    delay: D,
-    now: f64,
-    seq: u64,
-    queue: EventQueue<EventKind<P::Msg>>,
-    nodes: Vec<NodeState<P>>,
-    stats: MessageStats,
-    sink: S,
+    pub(crate) graph: Graph,
+    pub(crate) delay: D,
+    pub(crate) now: f64,
+    pub(crate) seq: u64,
+    pub(crate) queue: EventQueue<EventKind<P::Msg>>,
+    pub(crate) nodes: Vec<NodeState<P>>,
+    pub(crate) stats: MessageStats,
+    pub(crate) sink: S,
     /// Scratch buffer for per-event logical-clock snapshots.
-    clock_buf: Vec<f64>,
+    pub(crate) clock_buf: Vec<f64>,
     /// Reusable action buffer lent to each protocol handler's [`Context`]
     /// and drained by `apply_actions` — no per-event `Vec` allocation.
-    action_buf: Vec<Action<P::Msg>>,
+    pub(crate) action_buf: Vec<Action<P::Msg>>,
     /// Phase timers, present only when profiling was requested (boxed to
     /// keep the common unprofiled engine small).
-    profile: Option<Box<EngineProfile>>,
+    pub(crate) profile: Option<Box<EngineProfile>>,
+    /// Present only on a partition replica inside the parallel driver
+    /// (`parallel.rs`): identifies the owned node set and collects
+    /// cross-partition sends and pop records. `None` on every engine a user
+    /// builds, costing the sequential hot path one predictable branch.
+    pub(crate) remote: Option<Box<crate::parallel::RemoteCtx<P::Msg>>>,
 }
 
 impl<P: Protocol, D: DelayModel> Engine<P, D, NullSink> {
@@ -409,7 +427,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     // ------------------------------------------------------------------
 
     /// Reports the post-event state to the sink, if it wants state.
-    fn maybe_snapshot(&mut self) {
+    pub(crate) fn maybe_snapshot(&mut self) {
         if !self.sink.wants_snapshots() {
             return;
         }
@@ -454,7 +472,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         self.queue.push(time, seq, kind);
     }
 
-    fn dispatch(&mut self, kind: EventKind<P::Msg>) {
+    pub(crate) fn dispatch(&mut self, kind: EventKind<P::Msg>) {
         match kind {
             EventKind::Wake { node } => self.handle_wake(node),
             EventKind::Deliver { src, dst, msg } => self.handle_deliver(src, dst, msg),
@@ -709,16 +727,35 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
 
     fn transmit(&mut self, src: NodeId, dst: NodeId, msg: P::Msg) {
         self.stats.transmissions += 1;
+        // On a partition replica, a send to a node owned elsewhere must not
+        // enter the local queue (it lands in the outbox, finalized at the
+        // window barrier) and must not read the receiver's clock replica
+        // (the owner may have advanced it). `remote` is `None` on every
+        // user-built engine, so this is one predictable branch.
+        let remote_dst = match self.remote.as_deref() {
+            Some(r) => r.owner[dst.index()] != r.part,
+            None => false,
+        };
         // Hardware readings are resolved lazily inside `DelayCtx`: delay
         // models that never consult them cost zero clock evaluations here.
-        let ctx = DelayCtx::from_clocks(
-            src,
-            dst,
-            self.now,
-            &self.nodes[src.index()].hw,
-            &self.nodes[dst.index()].hw,
-            &self.graph,
-        );
+        let ctx = if remote_dst {
+            DelayCtx::from_clocks_remote_dst(
+                src,
+                dst,
+                self.now,
+                &self.nodes[src.index()].hw,
+                &self.graph,
+            )
+        } else {
+            DelayCtx::from_clocks(
+                src,
+                dst,
+                self.now,
+                &self.nodes[src.index()].hw,
+                &self.nodes[dst.index()].hw,
+                &self.graph,
+            )
+        };
         let delivery = if self.profile.is_some() {
             let started = Instant::now();
             let delivery = self.delay.delivery(&ctx);
@@ -754,9 +791,30 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                         delay: Some(d),
                     });
                 }
-                self.push(self.now + d, EventKind::Deliver { src, dst, msg });
+                let time = self.now + d;
+                if remote_dst {
+                    assert!(time.is_finite(), "non-finite event time");
+                    let seq = self.seq;
+                    self.seq += 1;
+                    let r = self.remote.as_deref_mut().expect("remote_dst implies Some");
+                    r.outbox.push(crate::parallel::Outgoing {
+                        time,
+                        seq,
+                        src,
+                        dst,
+                        msg,
+                    });
+                } else {
+                    self.push(time, EventKind::Deliver { src, dst, msg });
+                }
             }
             Delivery::AtReceiverHw(target) => {
+                assert!(
+                    !remote_dst,
+                    "delay model returned AtReceiverHw for a cross-partition \
+                     send; models that advertise a lookahead promise plain \
+                     `After` delays only"
+                );
                 if self.sink.enabled() {
                     self.sink.record(&EngineEvent::Transmit {
                         src,

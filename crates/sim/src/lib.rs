@@ -68,6 +68,7 @@
 
 mod delay;
 mod engine;
+mod parallel;
 mod pending;
 pub mod profile;
 mod protocol;
@@ -78,7 +79,7 @@ mod ticked;
 
 pub use delay::{
     BimodalDelay, ConstantDelay, DelayCtx, DelayModel, Delivery, DirectionalDelay, FnDelay,
-    LossyDelay, UniformDelay,
+    Lookahead, LossyDelay, UniformDelay,
 };
 pub use engine::{Engine, EngineBuilder, MessageStats};
 pub use profile::EngineProfile;

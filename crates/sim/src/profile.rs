@@ -41,6 +41,21 @@ pub struct EngineProfile {
     /// Stale `HwDue` queue entries skipped (superseded by a later insert or
     /// a rate-change re-stamp) — included in `events`.
     pub stale_events: u64,
+    /// Worker threads used by the parallel driver (0 for a purely
+    /// sequential run). The remaining fields are likewise filled only by
+    /// `run_until_threaded`; see `docs/PARALLEL.md`.
+    pub par_workers: u64,
+    /// Synchronized time windows executed in parallel.
+    pub par_windows: u64,
+    /// Wall-time in the serial barrier phase (merge/replay of per-partition
+    /// pop logs, seq finalization, mailbox routing) — the Amdahl fraction.
+    pub par_replay: Duration,
+    /// Summed wall-time partitions spent idle inside a window, waiting at
+    /// the closing barrier for the slowest partition (load imbalance).
+    pub par_idle: Duration,
+    /// Wall-time of the whole parallel phase (windows + barriers), as seen
+    /// by the coordinating thread.
+    pub par_wall: Duration,
 }
 
 impl EngineProfile {
@@ -103,6 +118,29 @@ impl fmt::Display for EngineProfile {
         if self.stale_events > 0 {
             writeln!(f, "  ({} stale queue entries skipped)", self.stale_events)?;
         }
+        if self.par_workers > 0 {
+            let wall = self.par_wall.as_secs_f64();
+            let pct = |d: Duration| {
+                if wall > 0.0 {
+                    100.0 * d.as_secs_f64() / wall
+                } else {
+                    0.0
+                }
+            };
+            writeln!(
+                f,
+                "  parallel: {} workers, {} windows in {:.3}s \
+                 (replay {:.4}s = {:.1}%, idle {:.4}s = {:.1}% of {}x wall)",
+                self.par_workers,
+                self.par_windows,
+                wall,
+                self.par_replay.as_secs_f64(),
+                pct(self.par_replay),
+                self.par_idle.as_secs_f64(),
+                pct(self.par_idle) / self.par_workers as f64,
+                self.par_workers,
+            )?;
+        }
         Ok(())
     }
 }
@@ -122,7 +160,7 @@ mod tests {
             delay_calls: 2,
             snapshot: Duration::from_millis(20),
             snapshots: 4,
-            stale_events: 0,
+            ..EngineProfile::default()
         };
         assert_eq!(p.other(), Duration::from_millis(30));
         assert_eq!(p.per_event(), Duration::from_millis(25));

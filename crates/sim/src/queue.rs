@@ -94,6 +94,13 @@ impl<T> EventQueue<T> {
 
     /// Removes and returns the earliest event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.pop_entry().map(|(time, _, item)| (time, item))
+    }
+
+    /// Removes and returns the earliest event as `(time, seq, payload)` —
+    /// the full ordering key, needed by the parallel engine's barrier
+    /// replay to merge per-partition pop logs into the global order.
+    pub fn pop_entry(&mut self) -> Option<(f64, u64, T)> {
         let last = self.heap.len().checked_sub(1)?;
         self.heap.swap(0, last);
         let key = self.heap.pop().expect("len checked above");
@@ -104,7 +111,30 @@ impl<T> EventQueue<T> {
             .take()
             .expect("heap keys always address a live slot");
         self.free.push(key.slot);
-        Some((key.time, item))
+        Some((key.time, key.seq, item))
+    }
+
+    /// Rewrites every queued key's `seq` through `f` in place, without
+    /// re-heapifying.
+    ///
+    /// The caller must guarantee `f` is strictly monotone on the seqs
+    /// present (it preserves every pairwise `<`), so the heap invariant is
+    /// untouched. The parallel engine uses this at window barriers to
+    /// replace provisional partition-local seqs with their final global
+    /// values — a mapping that is monotone by construction (see
+    /// `parallel.rs`).
+    pub fn remap_seqs(&mut self, mut f: impl FnMut(u64) -> u64) {
+        for key in &mut self.heap {
+            key.seq = f(key.seq);
+        }
+        #[cfg(debug_assertions)]
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / ARITY;
+            debug_assert!(
+                !self.heap[i].before(&self.heap[parent]),
+                "remap_seqs closure was not order-preserving"
+            );
+        }
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -183,6 +213,40 @@ mod tests {
             assert!(t >= last);
             last = t;
         }
+    }
+
+    #[test]
+    fn pop_entry_reports_the_seq() {
+        let mut q = EventQueue::with_capacity(2);
+        q.push(1.0, 7, "x");
+        q.push(1.0, 3, "y");
+        assert_eq!(q.pop_entry(), Some((1.0, 3, "y")));
+        assert_eq!(q.pop_entry(), Some((1.0, 7, "x")));
+        assert_eq!(q.pop_entry(), None);
+    }
+
+    #[test]
+    fn remap_seqs_preserves_pop_order_under_monotone_maps() {
+        let mut q = EventQueue::with_capacity(8);
+        // Provisional seqs in the high half, finals in the low half, ties in
+        // time everywhere — the exact shape the parallel engine produces.
+        const P: u64 = 1 << 63;
+        q.push(2.0, P + 1, "p1");
+        q.push(1.0, 5, "f5");
+        q.push(1.0, P, "p0");
+        q.push(1.0, 2, "f2");
+        // Monotone map: finals fixed, provisionals land above them.
+        q.remap_seqs(|s| if s >= P { s - P + 100 } else { s });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_entry()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (1.0, 2, "f2"),
+                (1.0, 5, "f5"),
+                (1.0, 100, "p0"),
+                (2.0, 101, "p1"),
+            ]
+        );
     }
 
     #[test]

@@ -103,6 +103,11 @@ fn exec<P: Protocol>(
         .event_sink(sinks)
         .build();
     engine.wake_all_at(0.0);
+    // Deliberately the sequential loop, never `run_until_threaded`: the
+    // sweep's parallelism budget (`--jobs`) is spent on independent jobs,
+    // one per worker thread. Nesting the windowed parallel driver inside a
+    // job would oversubscribe the machine to jobs x threads cores — use
+    // `gcs run --threads` when one large simulation should own the cores.
     engine.run_until(horizon);
     let stats = engine.message_stats().clone();
     (engine.into_sink(), stats)

@@ -313,6 +313,43 @@ mod tests {
     }
 
     #[test]
+    fn concurrency_never_exceeds_requested_workers() {
+        // The pool is the sweep's *only* source of parallelism: jobs run
+        // their engines with the sequential loop (see `job::exec`), so the
+        // machine-wide thread budget is exactly `--jobs`. A high-water
+        // counter over simulated engine runs pins that: even with far more
+        // jobs than workers, no more than `workers` jobs are ever inside
+        // `run` at once.
+        let workers = 3;
+        let live = AtomicU64::new(0);
+        let high_water = AtomicU64::new(0);
+        let run = |i: usize| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            high_water.fetch_max(now, Ordering::SeqCst);
+            // A real (if tiny) engine run, standing in for a sweep job.
+            let graph = gcs_graph::topology::path(4);
+            let params = gcs_core::Params::recommended(0.01, 0.1).unwrap();
+            let mut engine = gcs_sim::Engine::builder(graph)
+                .protocols(vec![gcs_core::AOpt::new(params); 4])
+                .delay_model(gcs_sim::ConstantDelay::new(0.05))
+                .build();
+            engine.wake_all_at(0.0);
+            engine.run_until(2.0);
+            live.fetch_sub(1, Ordering::SeqCst);
+            Ok(i)
+        };
+        let outcomes = run_pool(32, workers, run, |_, _| {});
+        assert_eq!(outcomes.len(), 32);
+        assert!(outcomes.iter().all(|o| o.completed().is_some()));
+        let peak = high_water.load(Ordering::SeqCst);
+        assert!(
+            peak <= workers as u64,
+            "pool oversubscribed: {peak} concurrent jobs > {workers} workers"
+        );
+        assert!(peak >= 1);
+    }
+
+    #[test]
     fn zero_jobs_and_zero_workers_are_fine() {
         let outcomes = run_pool(0, 0, |_| Ok(()), |_, _| {});
         assert!(outcomes.is_empty());

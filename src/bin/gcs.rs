@@ -100,8 +100,8 @@ gcs run — simulate one algorithm on one topology and report skews
 USAGE:
     gcs run [--algo NAME] [--topology SPEC] [--eps E] [--t T]
             [--horizon H] [--delays SPEC] [--rates SPEC] [--seed N]
-            [--trace FILE.csv] [--events FILE.jsonl] [--metrics]
-            [--watchdog] [--kappa-factor F]
+            [--threads K|auto] [--trace FILE.csv] [--events FILE.jsonl]
+            [--metrics] [--watchdog] [--kappa-factor F]
 
 OPTIONS:
     --algo NAME          aopt|jump|mingap|envelope|max|midpoint|nosync
@@ -112,6 +112,11 @@ OPTIONS:
     --delays SPEC        uniform|const|zero|directional|wavefront[:B]
     --rates SPEC         walk|split|distsplit|alternating[:P]|gradient|nominal
     --seed N             seed for random topology/delays/rates (default 42)
+    --threads K|auto     run the engine on K cores via lookahead-windowed
+                         parallel execution (see docs/PARALLEL.md); event
+                         streams stay byte-identical to --threads 1. Falls
+                         back to sequential when the delay model advertises
+                         no positive delay lower bound. `auto` = all cores
 
 OBSERVABILITY:
     --trace FILE.csv     sampled clock trajectories (plotting)
@@ -122,10 +127,17 @@ OBSERVABILITY:
                          state online; on violation, dump the last events
     --profile            time the engine's event-loop phases (protocol /
                          delay / snapshot) and print the breakdown; timing
-                         is observational — all outputs stay byte-identical
+                         is observational — all outputs stay byte-identical.
+                         With --threads it adds window/replay/idle counters
     --kappa-factor F     scale κ by F, bypassing the Eq. (4) validation
                          (with F < 1 and --watchdog: demonstrates the
                          invariant violation the paper predicts)
+
+    --trace / --metrics / --watchdog sample per-event engine state, which
+    the parallel driver does not reconstruct; combining them with
+    --threads K>1 runs sequentially (with a warning). --events records the
+    raw stream only and parallelizes fine. Without per-event sampling the
+    skew rows report the state at the horizon, not the running maximum.
 ";
 
 const SWEEP_USAGE: &str = "\
@@ -451,10 +463,20 @@ struct RunSinks {
     events: Option<(String, JsonlWriter<BufWriter<File>>)>,
     metrics: Option<MetricsSink>,
     watchdog: Option<InvariantWatchdog>,
+    /// Sample engine state after every event. Off under `--threads K>1`,
+    /// where the parallel driver cannot reconstruct per-event global state;
+    /// the observer then sees a single snapshot at the horizon instead.
+    per_event: bool,
 }
 
 impl RunSinks {
-    fn new(graph: &Graph, horizon: f64, opts: &Options, params: Params) -> Result<Self, String> {
+    fn new(
+        graph: &Graph,
+        horizon: f64,
+        opts: &Options,
+        params: Params,
+        per_event: bool,
+    ) -> Result<Self, String> {
         let trace = opts
             .values
             .get("trace")
@@ -481,6 +503,7 @@ impl RunSinks {
             events,
             metrics,
             watchdog,
+            per_event,
         })
     }
 }
@@ -503,7 +526,7 @@ impl EventSink for RunSinks {
     }
 
     fn wants_snapshots(&self) -> bool {
-        true // the skew observer always samples per-event state
+        self.per_event // the skew observer samples per-event state
     }
 
     fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
@@ -527,17 +550,37 @@ struct RunOutput {
     metrics: Option<MetricsSink>,
     trip: Option<WatchdogTrip>,
     profile: Option<EngineProfile>,
+    /// False when the observer only saw the horizon snapshot (`--threads`):
+    /// its "worst" skews are then end-of-run values, not running maxima.
+    skews_are_maxima: bool,
 }
 
-fn run_any<P: Protocol, D: DelayModel>(
+/// How to execute a run: how far, on how many threads, timed or not.
+#[derive(Clone, Copy)]
+struct RunExec {
+    horizon: f64,
+    profiling: bool,
+    threads: usize,
+}
+
+fn run_any<P, D>(
     graph: Graph,
     protocols: Vec<P>,
     delay: D,
     schedules: Vec<RateSchedule>,
-    horizon: f64,
     sinks: RunSinks,
-    profiling: bool,
-) -> Result<RunOutput, String> {
+    exec: RunExec,
+) -> Result<RunOutput, String>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+    D: DelayModel + Clone + Send,
+{
+    let RunExec {
+        horizon,
+        profiling,
+        threads,
+    } = exec;
     let mut engine = Engine::builder(graph)
         .protocols(protocols)
         .delay_model(delay)
@@ -546,10 +589,20 @@ fn run_any<P: Protocol, D: DelayModel>(
         .profiling(profiling)
         .build();
     engine.wake_all_at(0.0);
-    engine.run_until(horizon);
+    if threads > 1 {
+        engine.run_until_threaded(horizon, threads);
+    } else {
+        engine.run_until(horizon);
+    }
     let stats = engine.message_stats().clone();
     let profile = engine.profile().cloned();
+    let clocks = engine.logical_values();
     let mut sinks = engine.into_sink();
+    if !sinks.per_event {
+        // The parallel driver skipped per-event sampling; give the observer
+        // (and the report) at least the final state.
+        sinks.observer.snapshot(horizon, &clocks, 0);
+    }
     if let Some((path, trace)) = sinks.trace.take() {
         trace
             .write_csv(&path)
@@ -572,6 +625,7 @@ fn run_any<P: Protocol, D: DelayModel>(
         metrics: sinks.metrics,
         trip: sinks.watchdog.and_then(|w| w.trip().cloned()),
         profile,
+        skews_are_maxima: sinks.per_event,
     })
 }
 
@@ -603,20 +657,34 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let (delay, min_horizon) = build_delay(opts.str_or("delays", "uniform"), &graph, t, eps, seed)?;
     let horizon = horizon.max(min_horizon);
     let schedules = build_rates(opts.str_or("rates", "walk"), &graph, drift, horizon, seed)?;
-    let sinks = RunSinks::new(&graph, horizon, opts, params)?;
 
-    let profiling = opts.flag("profile");
+    let mut threads = match opts.values.get("threads") {
+        None => 1,
+        Some(v) if v == "auto" => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(k) if k >= 1 => k,
+            _ => return Err(format!("option --threads: `{v}` is not a count or `auto`")),
+        },
+    };
+    let needs_snapshots =
+        opts.values.contains_key("trace") || opts.flag("metrics") || opts.flag("watchdog");
+    if threads > 1 && needs_snapshots {
+        eprintln!(
+            "--threads {threads}: --trace/--metrics/--watchdog sample per-event engine \
+             state, which the parallel driver does not reconstruct; running sequentially"
+        );
+        threads = 1;
+    }
+    let sinks = RunSinks::new(&graph, horizon, opts, params, threads == 1)?;
+
+    let exec = RunExec {
+        horizon,
+        profiling: opts.flag("profile"),
+        threads,
+    };
     macro_rules! dispatch {
         ($protocols:expr) => {
-            run_any(
-                graph.clone(),
-                $protocols,
-                delay,
-                schedules,
-                horizon,
-                sinks,
-                profiling,
-            )?
+            run_any(graph.clone(), $protocols, delay, schedules, sinks, exec)?
         };
     }
     let output = match algo {
@@ -642,9 +710,14 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     let mut table = Table::new(vec!["quantity", "value"]);
     table.row(vec!["algorithm".into(), algo.to_string()]);
     table.row(vec!["nodes / diameter".into(), format!("{n} / {d}")]);
+    let (global_label, local_label) = if output.skews_are_maxima {
+        ("worst global skew", "worst local skew")
+    } else {
+        ("global skew at horizon", "local skew at horizon")
+    };
     let (g_ahead, g_behind) = observer.worst_global_pair();
     table.row(vec![
-        "worst global skew".into(),
+        global_label.into(),
         format!(
             "{:.6}  (v{g_ahead} − v{g_behind} at t = {:.2})",
             observer.worst_global(),
@@ -653,7 +726,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     ]);
     let (l_ahead, l_behind) = observer.worst_local_pair();
     table.row(vec![
-        "worst local skew".into(),
+        local_label.into(),
         format!(
             "{:.6}  (v{l_ahead} − v{l_behind} at t = {:.2})",
             observer.worst_local(),

@@ -1,0 +1,171 @@
+//! Thread-count parity for the lookahead-windowed parallel engine.
+//!
+//! `Engine::run_until_threaded` promises an observable execution
+//! **byte-identical** to the sequential loop at any thread count. These
+//! tests pin that promise three ways:
+//!
+//! * against the committed golden fixture
+//!   (`tests/fixtures/f2_wavefront_events.jsonl`) at 1/2/4 threads — the F2
+//!   wavefront's lookahead expires at the flip, so this also exercises the
+//!   mid-run merge-back to the sequential loop;
+//! * by cross-comparing thread counts on a torus under wavefront and
+//!   constant delays (the latter never falls back: pure parallel execution
+//!   through the final window);
+//! * for the documented fallbacks: a model with no lookahead (uniform
+//!   random delays) and snapshot-hungry sinks (`SkewObserver`,
+//!   `InvariantWatchdog`) must produce identical results, not crashes.
+
+use gcs_analysis::{diff_streams, InvariantWatchdog, JsonlWriter, SkewObserver};
+use gcs_core::{AOpt, Params};
+use gcs_sim::{Engine, EventSink, MessageStats};
+use gcs_sweep::{build_delay, build_rates, parse_topology};
+use gcs_time::DriftBounds;
+
+const FIXTURE: &str = include_str!("fixtures/f2_wavefront_events.jsonl");
+
+const EPS: f64 = 0.05;
+const T_MAX: f64 = 0.5;
+const SEED: u64 = 42;
+
+/// Runs the standard F2-style configuration with the given sink and thread
+/// count; mirrors `gcs run`'s construction (and the golden fixture's).
+fn run_with<S: EventSink>(
+    topo: &str,
+    delays: &str,
+    threads: usize,
+    sink: S,
+) -> Engine<AOpt, gcs_sweep::SweepDelay, S> {
+    let graph = parse_topology(topo, SEED).expect("valid topology");
+    let n = graph.len();
+    let drift = DriftBounds::new(EPS).expect("valid drift");
+    let params = Params::recommended(EPS, T_MAX).expect("valid params");
+    let (delay, min_horizon) = build_delay(delays, &graph, T_MAX, EPS, SEED).expect("valid delay");
+    let horizon = 40.0_f64.max(min_horizon);
+    let schedules = build_rates("gradient", &graph, drift, horizon, SEED).expect("valid rates");
+    let mut engine = Engine::builder(graph)
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(delay)
+        .rate_schedules(schedules)
+        .event_sink(sink)
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until_threaded(horizon, threads);
+    engine
+}
+
+/// Event stream, final logical clocks, and message stats for one run.
+fn observe(topo: &str, delays: &str, threads: usize) -> (String, Vec<f64>, MessageStats) {
+    let engine = run_with(topo, delays, threads, JsonlWriter::new(Vec::<u8>::new()));
+    let values = engine.logical_values();
+    let stats = engine.message_stats().clone();
+    let bytes = engine.into_sink().finish().expect("Vec sink cannot fail");
+    (
+        String::from_utf8(bytes).expect("stream is UTF-8"),
+        values,
+        stats,
+    )
+}
+
+fn assert_streams_equal(reference: &str, produced: &str, what: &str) {
+    assert!(
+        produced == reference,
+        "{what}: event stream diverged\n{}",
+        match diff_streams(reference, produced) {
+            Some(diff) => format!("{diff:?}"),
+            None => "streams differ only in trailing bytes".to_string(),
+        }
+    );
+}
+
+#[test]
+fn golden_fixture_is_byte_identical_at_1_2_4_threads() {
+    // The wavefront's lookahead holds until the flip (t = 35) and the run
+    // continues to t = 55, so threads > 1 exercise parallel windows *and*
+    // the merge-back to sequential execution — against the same fixture the
+    // sequential engine is pinned to.
+    for threads in [1, 2, 4] {
+        let (stream, _, _) = observe("path:8", "wavefront", threads);
+        assert_streams_equal(FIXTURE, &stream, &format!("--threads {threads}"));
+    }
+}
+
+#[test]
+fn torus_wavefront_parity_across_thread_counts() {
+    let (base_stream, base_values, base_stats) = observe("torus:6x6", "wavefront", 1);
+    assert!(
+        !base_stream.is_empty(),
+        "baseline produced no events; the test would be vacuous"
+    );
+    for threads in [2, 4] {
+        let (stream, values, stats) = observe("torus:6x6", "wavefront", threads);
+        assert_streams_equal(&base_stream, &stream, &format!("--threads {threads}"));
+        assert_eq!(values, base_values, "--threads {threads}: logical clocks");
+        assert_eq!(stats, base_stats, "--threads {threads}: message stats");
+    }
+}
+
+#[test]
+fn torus_constant_delay_parity_across_thread_counts() {
+    // Constant delays promise a lookahead forever: these runs never fall
+    // back, covering the final inclusive-to-horizon window in parallel.
+    let (base_stream, base_values, base_stats) = observe("torus:6x6", "const", 1);
+    assert!(!base_stream.is_empty());
+    for threads in [2, 4] {
+        let (stream, values, stats) = observe("torus:6x6", "const", threads);
+        assert_streams_equal(&base_stream, &stream, &format!("--threads {threads}"));
+        assert_eq!(values, base_values, "--threads {threads}: logical clocks");
+        assert_eq!(stats, base_stats, "--threads {threads}: message stats");
+    }
+}
+
+#[test]
+fn model_without_lookahead_falls_back_gracefully() {
+    // Uniform random delays advertise no lookahead (`min_delay` → `None`):
+    // requesting threads must transparently run the sequential loop, not
+    // crash or diverge.
+    let (base_stream, base_values, _) = observe("path:8", "uniform", 1);
+    let (stream, values, _) = observe("path:8", "uniform", 4);
+    assert_streams_equal(&base_stream, &stream, "uniform fallback");
+    assert_eq!(values, base_values);
+}
+
+#[test]
+fn skew_observer_results_are_identical_at_any_thread_count() {
+    // `SkewObserver` wants per-event snapshots, which force the sequential
+    // path; the observable contract is simply: same results, any `threads`.
+    let base = run_with("torus:6x6", "wavefront", 1, {
+        let g = parse_topology("torus:6x6", SEED).unwrap();
+        SkewObserver::new(&g)
+    });
+    let base_obs = base.sink();
+    for threads in [2, 4] {
+        let run = run_with("torus:6x6", "wavefront", threads, {
+            let g = parse_topology("torus:6x6", SEED).unwrap();
+            SkewObserver::new(&g)
+        });
+        let obs = run.sink();
+        assert_eq!(obs.worst_global(), base_obs.worst_global());
+        assert_eq!(obs.worst_local(), base_obs.worst_local());
+        assert_eq!(obs.worst_global_at(), base_obs.worst_global_at());
+        assert_eq!(obs.worst_local_at(), base_obs.worst_local_at());
+    }
+    assert!(base_obs.worst_global() > 0.0, "observer saw a real run");
+}
+
+#[test]
+fn watchdog_results_are_identical_at_any_thread_count() {
+    let make = || {
+        let g = parse_topology("torus:6x6", SEED).unwrap();
+        let params = Params::recommended(EPS, T_MAX).unwrap();
+        let drift = DriftBounds::new(EPS).unwrap();
+        InvariantWatchdog::new(&g, params, drift)
+    };
+    let base = run_with("torus:6x6", "wavefront", 1, make());
+    for threads in [2, 4] {
+        let run = run_with("torus:6x6", "wavefront", threads, make());
+        assert_eq!(run.sink().tripped(), base.sink().tripped());
+        assert_eq!(run.sink().snapshots(), base.sink().snapshots());
+    }
+    assert!(!base.sink().tripped(), "A^opt must satisfy its invariants");
+    assert!(base.sink().snapshots() > 0);
+}
