@@ -28,6 +28,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0
     }
+
+    /// Folds another counter in: counts add.
+    pub fn merge(&mut self, other: &Counter) {
+        self.0 += other.0;
+    }
 }
 
 /// A last-value-wins instantaneous measurement.
@@ -43,6 +48,13 @@ impl Gauge {
     /// The current value.
     pub fn get(&self) -> f64 {
         self.0
+    }
+
+    /// Folds another gauge in. Gauges are last-value-wins, which is not
+    /// reconstructible from independent shards; the merge is right-biased by
+    /// convention — `other` is the later shard and its value stands.
+    pub fn merge(&mut self, other: &Gauge) {
+        self.0 = other.0;
     }
 }
 
@@ -198,6 +210,31 @@ impl Histogram {
         }
         Some(self.max)
     }
+
+    /// Folds another histogram in: bucket counts, count, and sum add;
+    /// min/max take the extremes. Merging the per-shard histograms of a
+    /// partitioned stream yields exactly the histogram of the interleaved
+    /// stream — bucketing is order-independent (pinned by the property
+    /// tests in `tests/metrics_merge.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ: histograms of different shapes
+    /// measure different things, and folding them silently would corrupt
+    /// both.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (acc, &c) in self.counts.iter_mut().zip(&other.counts) {
+            *acc += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A named collection of counters, gauges, and histograms.
@@ -270,6 +307,96 @@ impl MetricsRegistry {
                 None => out.push_str(&format!("histogram {name} count=0\n")),
             }
         }
+        out
+    }
+
+    /// Folds another registry in: counters add, histograms merge
+    /// (see [`Histogram::merge`] — bounds must agree name-by-name), and
+    /// gauges are right-biased (`other`, the later shard, wins). Metrics
+    /// present in only one side are kept as-is.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, c) in &other.counters {
+            self.counters.entry(name.clone()).or_default().merge(c);
+        }
+        for (name, g) in &other.gauges {
+            self.gauges.entry(name.clone()).or_default().merge(g);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Renders the registry as a `gcs-metrics/v1` JSON document: sorted
+    /// maps of counters and gauges, and per-histogram summaries with the
+    /// full bucket layout. Deterministic — same registry state,
+    /// byte-identical output.
+    pub fn to_json(&self) -> String {
+        fn num(out: &mut String, v: f64) {
+            // `f64::to_string` never emits exponents, infinities only by
+            // explicit "inf": guard non-finite values as null.
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        let mut out = String::from("{\"schema\":\"gcs-metrics/v1\",\"counters\":{");
+        for (i, (name, c)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", c.get()));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":"));
+            num(&mut out, g.get());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{{\"count\":{},\"sum\":", h.count()));
+            num(&mut out, h.sum());
+            for (key, v) in [
+                ("min", h.min()),
+                ("max", h.max()),
+                ("mean", h.mean()),
+                ("p50", h.quantile(0.5)),
+                ("p99", h.quantile(0.99)),
+            ] {
+                out.push_str(&format!(",\"{key}\":"));
+                match v {
+                    Some(v) => num(&mut out, v),
+                    None => out.push_str("null"),
+                }
+            }
+            out.push_str(",\"bounds\":[");
+            for (j, &b) in h.bounds().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                num(&mut out, b);
+            }
+            out.push_str("],\"buckets\":[");
+            for (j, &c) in h.bucket_counts().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}\n");
         out
     }
 }

@@ -7,8 +7,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diff;
 mod results;
 
+pub use diff::{
+    diff, direction, parse_artifact, BenchArtifact, BenchDiff, DiffRow, Direction, Status,
+    ABS_FLOOR,
+};
 pub use results::BenchReport;
 
 use gcs_analysis::SkewObserver;

@@ -7,6 +7,8 @@
 //! * numeric range strategies (`0usize..40`, `0.0f64..1.0`, `0.0..=1.0`),
 //! * tuple strategies, [`collection::vec`](crate::collection::vec),
 //!   [`Just`], and [`Strategy::prop_map`],
+//! * [`prop_oneof!`] (unweighted) and
+//!   [`sample::select`](crate::sample::select),
 //! * `prop_assert!` / `prop_assert_eq!`.
 //!
 //! Unlike real proptest there is **no shrinking** and no persisted failure
@@ -157,9 +159,77 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Generates values drawn uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Strategy produced by [`prop_oneof!`]: draws a branch uniformly, then a
+/// value from that branch.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds the union; use through [`prop_oneof!`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rand::Rng::gen_range(rng, 0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`]; used by [`prop_oneof!`].
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Unweighted subset of upstream's `prop_oneof!`: draws each case from one
+/// of the listed strategies, chosen uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::Union::new(vec![ $($crate::boxed($strat)),+ ])
+    };
+}
+
 /// Namespace mirror of upstream's `proptest::prelude::prop`.
 pub mod strategy_ns {
-    pub use crate::collection;
+    pub use crate::{collection, sample};
 }
 
 /// Runs one property over `cases` generated inputs.
@@ -279,12 +349,13 @@ macro_rules! prop_assert_ne {
 /// Commonly imported names, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
     };
 
     /// Mirror of upstream's `prop` namespace (`prop::collection::vec`).
     pub mod prop {
-        pub use crate::collection;
+        pub use crate::{collection, sample};
     }
 }
 
@@ -312,6 +383,14 @@ mod tests {
         #[test]
         fn just_yields_its_value(x in Just(41)) {
             prop_assert_eq!(x + 1, 42);
+        }
+
+        #[test]
+        fn oneof_and_select(x in prop_oneof![
+            0.0f64..1.0,
+            prop::sample::select(vec![5.0, 7.0]),
+        ]) {
+            prop_assert!((0.0..1.0).contains(&x) || x == 5.0 || x == 7.0);
         }
     }
 

@@ -65,8 +65,8 @@ impl<M> EventKind<M> {
 
 #[derive(Debug, Clone)]
 pub(crate) struct NodeState<P: Protocol> {
-    proto: P,
-    hw: HardwareClock,
+    pub(crate) proto: P,
+    pub(crate) hw: HardwareClock,
     schedule: RateSchedule,
     /// Pending hardware-value items (slab-backed, allocation-free in
     /// steady state).
@@ -229,7 +229,7 @@ pub struct Engine<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
     /// (`parallel.rs`): identifies the owned node set and collects
     /// cross-partition sends and pop records. `None` on every engine a user
     /// builds, costing the sequential hot path one predictable branch.
-    pub(crate) remote: Option<Box<crate::parallel::RemoteCtx<P::Msg>>>,
+    pub(crate) remote: Option<Box<crate::parallel::RemoteCtx<P>>>,
 }
 
 impl<P: Protocol, D: DelayModel> Engine<P, D, NullSink> {

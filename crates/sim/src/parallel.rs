@@ -34,6 +34,7 @@ use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use gcs_graph::{partition, NodeId};
+use gcs_time::HardwareClock;
 
 use crate::delay::DelayModel;
 use crate::engine::{Engine, EventKind, MessageStats};
@@ -66,7 +67,9 @@ pub(crate) struct Outgoing<M> {
 /// global order (`time`, raw `seq`) and its effects (how many seqs its
 /// dispatch consumed, how many sink records it emitted). Pops that neither
 /// pushed nor recorded anything (stale queue entries) are not logged — they
-/// are invisible to both seq assignment and the event stream.
+/// are invisible to both seq assignment and the event stream — *except* in
+/// snapshot mode, where every pop is logged: the sequential engine snapshots
+/// after every pop (stale ones included), so the barrier replay must too.
 #[derive(Debug, Clone, Copy)]
 struct PopRecord {
     time: f64,
@@ -75,18 +78,35 @@ struct PopRecord {
     events: u32,
 }
 
+/// The home node's post-dispatch state, logged once per pop in snapshot
+/// mode. A dispatch mutates the logical-clock-relevant state (`proto`,
+/// `hw`) of exactly one node — the event's home — so these entries are
+/// sufficient to reconstruct every node's logical clock at every replayed
+/// pop, with the *same bits* the sequential engine would have read.
+#[derive(Debug, Clone)]
+struct PopState<P: Protocol> {
+    home: NodeId,
+    hw: HardwareClock,
+    proto: P,
+}
+
 /// Partition-replica context hung off [`Engine::remote`]; `None` on every
 /// user-built engine.
 #[derive(Debug, Clone)]
-pub(crate) struct RemoteCtx<M> {
+pub(crate) struct RemoteCtx<P: Protocol> {
     /// This replica's partition id.
     pub(crate) part: u32,
     /// Node → owning partition, shared by all replicas.
     pub(crate) owner: Arc<Vec<u32>>,
     /// Cross-partition sends of the current window.
-    pub(crate) outbox: Vec<Outgoing<M>>,
+    pub(crate) outbox: Vec<Outgoing<P::Msg>>,
     /// Pop log of the current window.
     records: Vec<PopRecord>,
+    /// Whether to log every pop with its [`PopState`] (snapshot mode).
+    log_state: bool,
+    /// Post-dispatch home-node states, parallel to `records` (snapshot
+    /// mode only; empty otherwise).
+    states: Vec<PopState<P>>,
     /// Total pops over all windows (profile accounting).
     pops: u64,
     /// Wall-time this partition spent executing the last window.
@@ -95,8 +115,9 @@ pub(crate) struct RemoteCtx<M> {
 
 /// Event-capturing sink for partition replicas. Mirrors the real sink's
 /// `enabled()` so replicas record exactly the events the real sink would;
-/// never asks for snapshots (snapshot-dependent sinks force the sequential
-/// path — see [`Engine::run_until_threaded`]).
+/// never asks for snapshots itself — when the *real* sink wants them, the
+/// barrier replay reconstructs every per-event snapshot serially from the
+/// partitions' [`PopState`] logs (see [`SnapReplay`]).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct BufferSink {
     events: Vec<EngineEvent>,
@@ -143,21 +164,23 @@ enum Decision {
 /// per-partition push-id → final-seq maps, and reusable scratch buffers
 /// (ping-ponged with partition buffers so steady-state windows allocate
 /// nothing).
-struct ReplayState<M> {
+struct ReplayState<P: Protocol> {
     next_seq: u64,
     maps: Vec<Vec<u64>>,
     next_push: Vec<usize>,
     cursors: Vec<usize>,
     ev_cursors: Vec<usize>,
+    st_cursors: Vec<usize>,
     records: Vec<Vec<PopRecord>>,
     events: Vec<Vec<EngineEvent>>,
-    outboxes: Vec<Vec<Outgoing<M>>>,
+    states: Vec<Vec<PopState<P>>>,
+    outboxes: Vec<Vec<Outgoing<P::Msg>>>,
 }
 
 /// Seq not yet assigned in a replay map.
 const UNASSIGNED: u64 = u64::MAX;
 
-impl<M> ReplayState<M> {
+impl<P: Protocol> ReplayState<P> {
     fn new(k: usize, next_seq: u64) -> Self {
         ReplayState {
             next_seq,
@@ -165,10 +188,55 @@ impl<M> ReplayState<M> {
             next_push: vec![0; k],
             cursors: vec![0; k],
             ev_cursors: vec![0; k],
+            st_cursors: vec![0; k],
             records: vec![Vec::new(); k],
             events: vec![Vec::new(); k],
+            states: (0..k).map(|_| Vec::new()).collect(),
             outboxes: (0..k).map(|_| Vec::new()).collect(),
         }
+    }
+}
+
+/// The serial snapshot reconstructor, used when the real sink wants
+/// per-event snapshots. It shadows every node's snapshot-relevant state
+/// (`hw`, `proto`) and the global queue depth, updating both from each
+/// replayed pop, and feeds the sink the **exact** snapshot the sequential
+/// engine would have produced after that pop: the clock buffer is computed
+/// by the same `proto.logical_value(hw.value_at(now))` expression on
+/// bit-identical state, and the queue depth follows from pop/push
+/// arithmetic (each pop removes one entry; each seq increment — queue push
+/// or outbox send, which is a queue push sequentially — adds one).
+struct SnapReplay<P: Protocol> {
+    hw: Vec<HardwareClock>,
+    protos: Vec<P>,
+    clock_buf: Vec<f64>,
+    depth: usize,
+    now: f64,
+    snapshots: u64,
+    dur: Duration,
+}
+
+impl<P: Protocol> SnapReplay<P> {
+    /// One reconstructed snapshot: fold the pop's home-node state into the
+    /// shadow, advance time and queue depth, and call the sink.
+    fn replay_pop(&mut self, rec: &PopRecord, st: &PopState<P>, sink: &mut impl EventSink) {
+        let started = Instant::now();
+        let i = st.home.index();
+        self.hw[i] = st.hw.clone();
+        self.protos[i].clone_from(&st.proto);
+        self.now = self.now.max(rec.time);
+        self.depth = self.depth + rec.pushes as usize - 1;
+        let now = self.now;
+        self.clock_buf.clear();
+        self.clock_buf.extend(
+            self.protos
+                .iter()
+                .zip(&self.hw)
+                .map(|(p, hw)| p.logical_value(hw.value_at(now))),
+        );
+        sink.snapshot(now, &self.clock_buf, self.depth);
+        self.snapshots += 1;
+        self.dur += started.elapsed();
     }
 }
 
@@ -182,14 +250,16 @@ where
     /// Like [`Engine::run_until`], but executes graph partitions on up to
     /// `threads` worker threads in synchronized lookahead windows.
     ///
-    /// The observable execution — event stream, protocol states, message
-    /// statistics, final clocks — is **byte-identical** to `run_until` at
-    /// any thread count. Parallel execution engages only when it can be
-    /// proven safe; otherwise this transparently runs the sequential loop:
+    /// The observable execution — event stream, per-event snapshots,
+    /// protocol states, message statistics, final clocks — is
+    /// **byte-identical** to `run_until` at any thread count. Sinks that
+    /// want per-event snapshots (metrics, watchdog, skew observer, clock
+    /// traces) are served by the barrier replay, which reconstructs every
+    /// snapshot serially in exact sequential order (see [`SnapReplay`]).
+    /// Parallel execution engages only when it can be proven safe;
+    /// otherwise this transparently runs the sequential loop:
     ///
     /// * `threads < 2`, or the graph is too small to split;
-    /// * the installed sink wants per-event snapshots (snapshots observe
-    ///   global state between events, which is meaningless mid-window);
     /// * the delay model offers no strictly positive
     ///   [`lookahead`](crate::DelayModel::lookahead_at).
     ///
@@ -199,7 +269,6 @@ where
         assert!(t >= self.now, "cannot run backwards");
         let k = threads.min(self.graph.len());
         let usable = k >= 2
-            && !self.sink.wants_snapshots()
             && self
                 .delay
                 .lookahead_at(self.now)
@@ -227,6 +296,15 @@ where
         if k < 2 {
             return self.now;
         }
+        let mut snap = self.sink.wants_snapshots().then(|| SnapReplay {
+            hw: self.nodes.iter().map(|n| n.hw.clone()).collect(),
+            protos: self.nodes.iter().map(|n| n.proto.clone()).collect(),
+            clock_buf: Vec::with_capacity(self.nodes.len()),
+            depth: self.queue.len(),
+            now: self.now,
+            snapshots: 0,
+            dur: Duration::ZERO,
+        });
         let owner = Arc::new(parts_assignment.assignment);
         let parts: Vec<Mutex<Engine<P, D, BufferSink>>> =
             self.split(&owner, k).into_iter().map(Mutex::new).collect();
@@ -242,7 +320,7 @@ where
         let mut windows: u64 = 0;
         let mut replay_dur = Duration::ZERO;
         let mut idle_dur = Duration::ZERO;
-        let mut replay = ReplayState::<P::Msg>::new(k, self.seq);
+        let mut replay = ReplayState::<P>::new(k, self.seq);
 
         std::thread::scope(|scope| {
             for i in 1..k {
@@ -317,7 +395,13 @@ where
                         .iter()
                         .map(|m| m.lock().expect("partition lock"))
                         .collect();
-                    replay_window(&mut replay, &mut guards, &owner, &mut self.sink);
+                    replay_window(
+                        &mut replay,
+                        &mut guards,
+                        &owner,
+                        &mut self.sink,
+                        snap.as_mut(),
+                    );
                     for g in &guards {
                         idle_dur += window_wall.saturating_sub(g.remote_ref().run_dur);
                     }
@@ -339,12 +423,28 @@ where
             .map(|m| m.into_inner().expect("no panics while locked"))
             .collect();
         self.merge(parts, &owner, completed, replay.next_seq);
+        if let Some(snap) = &snap {
+            debug_assert_eq!(
+                snap.depth,
+                self.queue.len(),
+                "reconstructed queue depth diverged from the merged queue"
+            );
+        }
         if let Some(profile) = self.profile.as_deref_mut() {
             profile.par_workers = profile.par_workers.max(k as u64);
             profile.par_windows += windows;
             profile.par_replay += replay_dur;
             profile.par_idle += idle_dur;
-            profile.par_wall += phase_started.elapsed();
+            let wall = phase_started.elapsed();
+            profile.par_wall += wall;
+            // The phase's wall time stands in for the per-event dispatch
+            // timing the sequential loop would have accumulated, so
+            // `dispatch` stays the run's total event-processing time.
+            profile.dispatch += wall;
+            if let Some(snap) = &snap {
+                profile.snapshot += snap.dur;
+                profile.snapshots += snap.snapshots;
+            }
         }
         completed
     }
@@ -438,6 +538,8 @@ where
                     owner: Arc::clone(owner),
                     outbox: Vec::new(),
                     records: Vec::new(),
+                    log_state: self.sink.wants_snapshots(),
+                    states: Vec::new(),
                     pops: 0,
                     run_dur: Duration::ZERO,
                 })),
@@ -507,17 +609,21 @@ where
 }
 
 impl<P: Protocol, D: DelayModel> Engine<P, D, BufferSink> {
-    pub(crate) fn remote_mut(&mut self) -> &mut RemoteCtx<P::Msg> {
+    pub(crate) fn remote_mut(&mut self) -> &mut RemoteCtx<P> {
         self.remote.as_deref_mut().expect("partition replica")
     }
 
-    fn remote_ref(&self) -> &RemoteCtx<P::Msg> {
+    fn remote_ref(&self) -> &RemoteCtx<P> {
         self.remote.as_deref().expect("partition replica")
     }
 
     /// Processes this partition's events inside one window, logging each
-    /// effective pop for the barrier replay.
+    /// effective pop for the barrier replay. In snapshot mode every pop is
+    /// logged — stale ones included — together with the home node's
+    /// post-dispatch state, because the sequential engine snapshots after
+    /// every pop.
     fn run_window(&mut self, until: f64, inclusive: bool) {
+        let log_state = self.remote_ref().log_state;
         while let Some(next) = self.queue.peek_time() {
             let admit = if inclusive {
                 next <= until
@@ -530,19 +636,38 @@ impl<P: Protocol, D: DelayModel> Engine<P, D, BufferSink> {
             let seq_before = self.seq;
             let ev_before = self.sink.events.len();
             let (time, key_seq, kind) = self.queue.pop_entry().expect("peeked above");
+            let home = kind.home();
             self.now = self.now.max(time);
             self.dispatch(kind);
             let pushes = (self.seq - seq_before) as u32;
             let events = (self.sink.events.len() - ev_before) as u32;
-            let remote = self.remote_mut();
-            remote.pops += 1;
-            if pushes > 0 || events > 0 {
+            if log_state {
+                let node = &self.nodes[home.index()];
+                let state = PopState {
+                    home,
+                    hw: node.hw.clone(),
+                    proto: node.proto.clone(),
+                };
+                let remote = self.remote_mut();
+                remote.pops += 1;
                 remote.records.push(PopRecord {
                     time,
                     seq: key_seq,
                     pushes,
                     events,
                 });
+                remote.states.push(state);
+            } else {
+                let remote = self.remote_mut();
+                remote.pops += 1;
+                if pushes > 0 || events > 0 {
+                    remote.records.push(PopRecord {
+                        time,
+                        seq: key_seq,
+                        pushes,
+                        events,
+                    });
+                }
             }
         }
     }
@@ -551,12 +676,14 @@ impl<P: Protocol, D: DelayModel> Engine<P, D, BufferSink> {
 /// The serial barrier pass: merges the window's per-partition pop logs into
 /// the global `(time, seq)` order, assigns the exact sequence numbers the
 /// sequential engine would have used, emits buffered sink records in that
-/// order, rewrites still-queued provisional keys, and routes outboxes.
+/// order (and, in snapshot mode, the reconstructed per-pop snapshot),
+/// rewrites still-queued provisional keys, and routes outboxes.
 fn replay_window<P, D, S>(
-    state: &mut ReplayState<P::Msg>,
+    state: &mut ReplayState<P>,
     guards: &mut [MutexGuard<'_, Engine<P, D, BufferSink>>],
     owner: &[u32],
     sink: &mut S,
+    mut snap: Option<&mut SnapReplay<P>>,
 ) where
     P: Protocol,
     D: DelayModel,
@@ -569,15 +696,18 @@ fn replay_window<P, D, S>(
         let eng = &mut **guard;
         state.records[p].clear();
         state.events[p].clear();
+        state.states[p].clear();
         std::mem::swap(&mut state.records[p], &mut eng.remote_mut().records);
         let sink_events = &mut eng.sink.events;
         std::mem::swap(&mut state.events[p], sink_events);
+        std::mem::swap(&mut state.states[p], &mut eng.remote_mut().states);
         let pushes = (eng.seq - PROV_BASE) as usize;
         state.maps[p].clear();
         state.maps[p].resize(pushes, UNASSIGNED);
         state.next_push[p] = 0;
         state.cursors[p] = 0;
         state.ev_cursors[p] = 0;
+        state.st_cursors[p] = 0;
     }
 
     // K-way merge by (time, final seq). A provisional head's own push was
@@ -627,6 +757,11 @@ fn replay_window<P, D, S>(
             sink.record(ev);
         }
         state.ev_cursors[p] += rec.events as usize;
+        if let Some(snap) = snap.as_deref_mut() {
+            let st = &state.states[p][state.st_cursors[p]];
+            state.st_cursors[p] += 1;
+            snap.replay_pop(&rec, st, sink);
+        }
     }
 
     for (p, guard) in guards.iter_mut().enumerate() {
@@ -636,6 +771,10 @@ fn replay_window<P, D, S>(
             "every push belongs to a replayed pop"
         );
         debug_assert_eq!(state.ev_cursors[p], state.events[p].len());
+        debug_assert!(
+            snap.is_none() || state.st_cursors[p] == state.states[p].len(),
+            "every logged pop state belongs to a replayed pop"
+        );
         // Finalize still-queued provisional keys in place. The map is
         // strictly increasing in push id, and every new seq exceeds every
         // final seq already present, so the rewrite is order-preserving and

@@ -76,6 +76,49 @@ impl EngineProfile {
             self.dispatch / self.events as u32
         }
     }
+
+    /// Serializes the profile as a single `gcs-profile/v1` JSON object
+    /// (one line, trailing newline).
+    ///
+    /// Units: every `*_seconds` field is wall-clock seconds as a decimal
+    /// number; every other field is an exact integer count. The `par_*`
+    /// fields are zero for purely sequential runs. `other_seconds` is the
+    /// residual of [`EngineProfile::other`], so
+    /// `protocol + delay + snapshot + other == dispatch` up to float
+    /// rounding.
+    pub fn to_json(&self) -> String {
+        let s = |d: Duration| d.as_secs_f64();
+        format!(
+            concat!(
+                "{{\"schema\":\"gcs-profile/v1\",",
+                "\"events\":{},\"stale_events\":{},",
+                "\"dispatch_seconds\":{},\"per_event_seconds\":{},",
+                "\"protocol_seconds\":{},\"protocol_calls\":{},",
+                "\"delay_seconds\":{},\"delay_calls\":{},",
+                "\"snapshot_seconds\":{},\"snapshots\":{},",
+                "\"other_seconds\":{},",
+                "\"par_workers\":{},\"par_windows\":{},",
+                "\"par_replay_seconds\":{},\"par_idle_seconds\":{},",
+                "\"par_wall_seconds\":{}}}\n",
+            ),
+            self.events,
+            self.stale_events,
+            s(self.dispatch),
+            s(self.per_event()),
+            s(self.protocol),
+            self.protocol_calls,
+            s(self.delay),
+            self.delay_calls,
+            s(self.snapshot),
+            self.snapshots,
+            s(self.other()),
+            self.par_workers,
+            self.par_windows,
+            s(self.par_replay),
+            s(self.par_idle),
+            s(self.par_wall),
+        )
+    }
 }
 
 impl fmt::Display for EngineProfile {
@@ -168,6 +211,41 @@ mod tests {
         assert!(text.contains("engine profile: 4 events"));
         assert!(text.contains("protocol"));
         assert!(text.contains("other"));
+    }
+
+    #[test]
+    fn json_has_every_field_in_seconds() {
+        let p = EngineProfile {
+            events: 4,
+            dispatch: Duration::from_millis(100),
+            protocol: Duration::from_millis(40),
+            protocol_calls: 3,
+            delay: Duration::from_millis(10),
+            delay_calls: 2,
+            snapshot: Duration::from_millis(20),
+            snapshots: 4,
+            par_workers: 2,
+            par_windows: 7,
+            par_replay: Duration::from_millis(5),
+            par_idle: Duration::from_millis(9),
+            par_wall: Duration::from_millis(60),
+            ..EngineProfile::default()
+        };
+        let json = p.to_json();
+        assert!(json.starts_with("{\"schema\":\"gcs-profile/v1\","));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"events\":4"));
+        assert!(json.contains("\"dispatch_seconds\":0.1"));
+        assert!(json.contains("\"per_event_seconds\":0.025"));
+        assert!(json.contains("\"other_seconds\":0.03"));
+        assert!(json.contains("\"par_workers\":2"));
+        assert!(json.contains("\"par_windows\":7"));
+        assert!(json.contains("\"par_replay_seconds\":0.005"));
+        assert!(json.contains("\"par_idle_seconds\":0.009"));
+        assert!(json.contains("\"par_wall_seconds\":0.06"));
+        // Empty profiles serialize without NaNs or infinities.
+        let empty = EngineProfile::default().to_json();
+        assert!(!empty.contains("NaN") && !empty.contains("inf"));
     }
 
     #[test]

@@ -102,3 +102,61 @@ fn profile_accounts_for_the_run() {
     engine.run_until(30.0);
     assert!(engine.profile().is_none());
 }
+
+#[test]
+fn wall_time_accounting_stays_within_elapsed() {
+    let params = Params::recommended(0.02, 0.25).unwrap();
+    let n = 8;
+    let run = |threads: usize| {
+        let mut engine = Engine::builder(topology::path(n))
+            .protocols(vec![AOpt::new(params); n])
+            .delay_model(ConstantDelay::new(0.125))
+            .profiling(true)
+            .build();
+        engine.wake_all_at(0.0);
+        let started = std::time::Instant::now();
+        if threads > 1 {
+            engine.run_until_threaded(60.0, threads);
+        } else {
+            engine.run_until(60.0);
+        }
+        let elapsed = started.elapsed();
+        (
+            engine.profile().expect("profiling was enabled").clone(),
+            elapsed,
+        )
+    };
+    for threads in [1usize, 4] {
+        let (p, elapsed) = run(threads);
+        assert!(p.events > 0);
+        // Named phases are nested inside dispatch, and dispatch inside the
+        // run — the sums can never exceed the containing interval.
+        let phases = p.protocol + p.delay + p.snapshot;
+        assert!(
+            phases <= p.dispatch,
+            "phase sum {phases:?} exceeds dispatch {:?} at {threads} thread(s)",
+            p.dispatch
+        );
+        assert!(
+            p.dispatch <= elapsed,
+            "dispatch {:?} exceeds run elapsed {elapsed:?} at {threads} thread(s)",
+            p.dispatch
+        );
+        if threads > 1 {
+            assert_eq!(p.par_workers, threads as u64);
+            assert!(
+                p.par_windows > 0,
+                "const delay must admit lookahead windows"
+            );
+            // The parallel phase is part of dispatch, the serial barrier
+            // part of the parallel phase, and a partition can at most idle
+            // for a whole window.
+            assert!(p.par_wall <= p.dispatch);
+            assert!(p.par_replay <= p.par_wall);
+            assert!(p.par_idle <= p.par_wall * p.par_workers as u32);
+        } else {
+            assert_eq!((p.par_workers, p.par_windows), (0, 0));
+            assert_eq!(p.par_wall, std::time::Duration::ZERO);
+        }
+    }
+}

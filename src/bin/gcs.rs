@@ -6,6 +6,8 @@
 //! gcs run           simulate an algorithm on a topology and report skews
 //! gcs sweep         run a parameter grid on a parallel worker pool
 //! gcs trace         forensics over a recorded event stream
+//! gcs top           render a live heartbeat stream as a status report
+//! gcs bench         compare benchmark artifacts (bench diff OLD NEW)
 //! gcs replay-check  diff two JSONL event logs (determinism check)
 //! gcs lb-global     run the Theorem 7.2 forced-global-skew construction
 //! gcs lb-local      run the Theorem 7.7 forced-local-skew construction
@@ -26,6 +28,7 @@ use clock_sync::analysis::{
     diff_streams, ClockTrace, ComplexityReport, InvariantWatchdog, JsonlWriter, MetricsSink,
     SkewObserver, Table, WatchdogTrip,
 };
+use clock_sync::bench::{diff as bench_diff, parse_artifact};
 use clock_sync::core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
@@ -39,6 +42,7 @@ use clock_sync::sim::{
 use clock_sync::sweep::{
     build_delay, build_rates, parse_topology, report, run_sweep_timed, PoolProgress, SweepSpec,
 };
+use clock_sync::telemetry::{BeatInput, HeartbeatEmitter, ParStats, WatchdogStatus};
 use clock_sync::time::{DriftBounds, RateSchedule};
 
 const USAGE: &str = "\
@@ -52,6 +56,8 @@ COMMANDS:
     run           simulate one algorithm on one topology and report skews
     sweep         run a parameter grid on a parallel worker pool
     trace         forensics over a recorded event stream (summary|blame|export)
+    top           render a `--heartbeat` stream as a status report
+    bench         compare `gcs-bench-result/v1` artifacts (bench diff OLD NEW)
     replay-check  diff two JSONL event logs (determinism check)
     lb-global     run the Theorem 7.2 forced-global-skew construction
     lb-local      run the Theorem 7.7 forced-local-skew construction
@@ -77,6 +83,8 @@ EXAMPLES:
     gcs run --topology grid:6x6 --delays uniform --rates walk --horizon 200
     gcs sweep --topologies path:9,path:17 --seeds 8 --jobs 4 --csv out.csv
     gcs run --events run.jsonl && gcs trace blame run.jsonl
+    gcs run --horizon 400 --heartbeat - | gcs top -
+    gcs bench diff BENCH_engine_hotpath.json new/BENCH_engine_hotpath.json
     gcs replay-check a.jsonl b.jsonl
     gcs lb-global --d 16 --eps 0.05 --t 0.5 --t-hat 1.0
 ";
@@ -101,7 +109,8 @@ USAGE:
     gcs run [--algo NAME] [--topology SPEC] [--eps E] [--t T]
             [--horizon H] [--delays SPEC] [--rates SPEC] [--seed N]
             [--threads K|auto] [--trace FILE.csv] [--events FILE.jsonl]
-            [--metrics] [--watchdog] [--kappa-factor F]
+            [--metrics FILE|-] [--watchdog] [--heartbeat FILE|-]
+            [--kappa-factor F]
 
 OPTIONS:
     --algo NAME          aopt|jump|mingap|envelope|max|midpoint|nosync
@@ -114,30 +123,49 @@ OPTIONS:
     --seed N             seed for random topology/delays/rates (default 42)
     --threads K|auto     run the engine on K cores via lookahead-windowed
                          parallel execution (see docs/PARALLEL.md); event
-                         streams stay byte-identical to --threads 1. Falls
-                         back to sequential when the delay model advertises
-                         no positive delay lower bound. `auto` = all cores
+                         streams and every observer below stay byte-identical
+                         to --threads 1. Errors out when the delay model
+                         advertises no positive delay lower bound, unless
+                         --allow-sequential-fallback. `auto` = all cores
+    --allow-sequential-fallback
+                         with --threads K>1 and a delay model that cannot be
+                         parallelized, run sequentially instead of erroring
 
 OBSERVABILITY:
     --trace FILE.csv     sampled clock trajectories (plotting)
     --events FILE.jsonl  complete engine event log, one JSON object per line;
                          byte-identical across same-seed runs (replay-check)
-    --metrics            print the metrics registry snapshot after the run
+    --metrics FILE|-     print the metrics registry snapshot after the run
+                         and write it as `gcs-metrics/v1` JSON to FILE
+                         (`-` prints the JSON object to stdout instead)
     --watchdog           check Conditions (1)/(2) and the Def. 5.6 legal
                          state online; on violation, dump the last events
+    --heartbeat FILE|-   stream `gcs-heartbeat/v1` JSONL progress records,
+                         paced by simulated time (`-` = stdout); render a
+                         live or finished stream with `gcs top`
+    --heartbeat-every S  heartbeat cadence in simulated time units
+                         (default: horizon / 20)
+    --deterministic-heartbeat
+                         zero the wall-clock heartbeat fields and omit the
+                         parallel summary fields, making the stream a pure
+                         function of the simulation (byte-identical across
+                         seeds-equal runs at any --threads value)
     --profile            time the engine's event-loop phases (protocol /
                          delay / snapshot) and print the breakdown; timing
                          is observational — all outputs stay byte-identical.
                          With --threads it adds window/replay/idle counters
+    --profile-json FILE|-  write the same accounting as one `gcs-profile/v1`
+                         JSON object (`-` = stdout); see docs/TRACE_FORMAT.md
     --kappa-factor F     scale κ by F, bypassing the Eq. (4) validation
                          (with F < 1 and --watchdog: demonstrates the
                          invariant violation the paper predicts)
 
-    --trace / --metrics / --watchdog sample per-event engine state, which
-    the parallel driver does not reconstruct; combining them with
-    --threads K>1 runs sequentially (with a warning). --events records the
-    raw stream only and parallelizes fine. Without per-event sampling the
-    skew rows report the state at the horizon, not the running maximum.
+    Every observer runs under --threads K>1: the parallel driver replays
+    per-event engine state at each window barrier, so --trace, --metrics,
+    --watchdog and --heartbeat produce results identical to --threads 1
+    (property-tested; see docs/PARALLEL.md). Without any observer the
+    engine skips per-event sampling and the skew rows report the state at
+    the horizon, not the running maximum.
 ";
 
 const SWEEP_USAGE: &str = "\
@@ -181,6 +209,13 @@ EXECUTION:
                          stdout and all files stay byte-identical
     --profile            print the pool's wall-time accounting (per-job
                          mean/max, worker utilization) after the aggregate
+    --heartbeat FILE|-   stream one `gcs-heartbeat/v1` sweep record per
+                         completed job (`-` = stdout); render with `gcs top`
+    --heartbeat-every N  emit every N-th completed job only (default 1;
+                         the final job always emits)
+    --deterministic-heartbeat
+                         zero the wall-clock heartbeat fields; the stream
+                         is then byte-identical at any --jobs value
 
 EXAMPLES:
     gcs sweep --topologies path:9,path:17,path:33 --eps 0.02 --t 0.25 \\
@@ -225,6 +260,46 @@ See docs/TRACE_FORMAT.md for the JSONL schema and the Chrome mapping.
 EXAMPLE:
     gcs run --topology path:8 --delays wavefront --events run.jsonl
     gcs trace blame run.jsonl --end 120
+";
+
+const TOP_USAGE: &str = "\
+gcs top — render a heartbeat stream as a status report
+
+USAGE:
+    gcs top FILE.jsonl
+    gcs run --heartbeat - [...] | gcs top -
+
+Reads a `gcs-heartbeat/v1` JSONL stream (written by `gcs run --heartbeat`
+or `gcs sweep --heartbeat`; `-` = stdin) and renders the most recent run
+beats, the final run / parallel summary, and sweep progress. Malformed,
+truncated, or foreign lines are skipped, not fatal, so it works on live,
+still-growing files. See docs/TRACE_FORMAT.md for the record schema.
+";
+
+const BENCH_USAGE: &str = "\
+gcs bench — compare committed benchmark artifacts
+
+USAGE:
+    gcs bench diff OLD.json NEW.json [--tolerance F]
+
+Compares two `gcs-bench-result/v1` artifacts (the repository's
+BENCH_*.json files) metric by metric and reports the relative change.
+The metric family — the segment before the first `/` — decides the
+direction: `events_per_sec`, `speedup` and `throughput` regress when
+they drop; `wall_seconds`, `median_seconds`, `allocs_per_event`,
+`allocs_per_event_steady` and `overhead_ratio` regress when they rise;
+unknown families are reported but never gate. `speedup/*` metrics are
+skipped when either artifact was recorded on a single-core host, and
+config drift between the artifacts is noted but does not gate.
+
+OPTIONS:
+    --tolerance F   relative change tolerated before a metric counts as
+                    a regression (default 0.05 = 5%)
+
+EXIT CODES:
+    0    no regressions
+    1    at least one metric regressed beyond the tolerance
+    2    usage, I/O, or artifact-format error
 ";
 
 const REPLAY_USAGE: &str = "\
@@ -276,6 +351,8 @@ const COMMANDS: &[(&str, &str)] = &[
     ("run", RUN_USAGE),
     ("sweep", SWEEP_USAGE),
     ("trace", TRACE_USAGE),
+    ("top", TOP_USAGE),
+    ("bench", BENCH_USAGE),
     ("replay-check", REPLAY_USAGE),
     ("lb-global", LB_GLOBAL_USAGE),
     ("lb-local", LB_LOCAL_USAGE),
@@ -314,9 +391,24 @@ fn main() -> ExitCode {
             }
         };
     }
-    // trace takes positional arguments (action + file), not --key pairs.
+    // bench diff distinguishes "a metric regressed" (exit 1) from usage
+    // and artifact-format errors (exit 2) so CI can gate on the
+    // comparison itself.
+    if command == "bench" {
+        return match cmd_bench(rest) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    // trace and top take positional arguments, not --key pairs.
     let result = if command == "trace" {
         cmd_trace(rest)
+    } else if command == "top" {
+        cmd_top(rest)
     } else {
         let opts = match Options::parse(rest) {
             Ok(opts) => opts,
@@ -352,7 +444,14 @@ struct Options {
 impl Options {
     /// Options that are pure flags: present or absent, no value.
     const FLAGS: &'static [&'static str] = &[
-        "metrics", "watchdog", "dry-run", "profile", "progress", "global", "chrome",
+        "watchdog",
+        "dry-run",
+        "profile",
+        "progress",
+        "global",
+        "chrome",
+        "allow-sequential-fallback",
+        "deterministic-heartbeat",
     ];
 
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -461,12 +560,69 @@ struct RunSinks {
     observer: SkewObserver,
     trace: Option<(String, ClockTrace)>,
     events: Option<(String, JsonlWriter<BufWriter<File>>)>,
-    metrics: Option<MetricsSink>,
+    metrics: Option<(String, MetricsSink)>,
     watchdog: Option<InvariantWatchdog>,
-    /// Sample engine state after every event. Off under `--threads K>1`,
-    /// where the parallel driver cannot reconstruct per-event global state;
-    /// the observer then sees a single snapshot at the horizon instead.
+    heartbeat: Option<Heartbeat>,
+    /// Sample engine state after every event. Under `--threads K>1` this is
+    /// served by the parallel driver's barrier-time snapshot replay, which
+    /// reconstructs the exact sequential per-event state; without any
+    /// observer the run skips it and the observer sees a single snapshot
+    /// at the horizon instead.
     per_event: bool,
+}
+
+/// Live `--heartbeat` state carried through the run by [`RunSinks`]: the
+/// emitter plus the counters a beat reports.
+struct Heartbeat {
+    path: String,
+    emitter: HeartbeatEmitter<Box<dyn Write + Send>>,
+    deterministic: bool,
+    events: u64,
+    timer_sets: u64,
+    timer_fires: u64,
+    timer_cancels: u64,
+    last_queue_depth: u64,
+    /// First write failure; surfaced after the run (a sink cannot return
+    /// errors mid-simulation).
+    error: Option<String>,
+}
+
+impl Heartbeat {
+    fn input(
+        &self,
+        t: f64,
+        queue_depth: u64,
+        observer: &SkewObserver,
+        watchdog: Option<&InvariantWatchdog>,
+    ) -> BeatInput {
+        BeatInput {
+            t,
+            events: self.events,
+            queue_depth,
+            timers_armed: self
+                .timer_sets
+                .saturating_sub(self.timer_fires)
+                .saturating_sub(self.timer_cancels),
+            skew_global: Some(observer.worst_global()),
+            skew_local: Some(observer.worst_local()),
+            watchdog: match watchdog {
+                None => WatchdogStatus::Off,
+                Some(w) if w.tripped() => WatchdogStatus::Tripped,
+                Some(_) => WatchdogStatus::Ok,
+            },
+        }
+    }
+}
+
+/// Opens a heartbeat sink: `-` is stdout, anything else a fresh file.
+fn heartbeat_writer(path: &str) -> Result<Box<dyn Write + Send>, String> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdout()))
+    } else {
+        let file =
+            File::create(path).map_err(|e| format!("cannot create heartbeat log {path}: {e}"))?;
+        Ok(Box::new(BufWriter::new(file)))
+    }
 }
 
 impl RunSinks {
@@ -489,7 +645,10 @@ impl RunSinks {
             }
             None => None,
         };
-        let metrics = opts.flag("metrics").then(MetricsSink::new);
+        let metrics = opts
+            .values
+            .get("metrics")
+            .map(|path| (path.clone(), MetricsSink::new()));
         let watchdog = if opts.flag("watchdog") {
             let eps = opts.f64_or("eps", 1e-2)?;
             let drift = DriftBounds::new(eps).map_err(|e| e.to_string())?;
@@ -497,12 +656,41 @@ impl RunSinks {
         } else {
             None
         };
+        let heartbeat = match opts.values.get("heartbeat") {
+            Some(path) => {
+                let every = opts.f64_or("heartbeat-every", horizon / 20.0)?;
+                if !(every > 0.0 && every.is_finite()) {
+                    return Err(format!(
+                        "option --heartbeat-every: cadence must be positive, got `{every}`"
+                    ));
+                }
+                let deterministic = opts.flag("deterministic-heartbeat");
+                Some(Heartbeat {
+                    path: path.clone(),
+                    emitter: HeartbeatEmitter::new(
+                        heartbeat_writer(path)?,
+                        every,
+                        0.0,
+                        deterministic,
+                    ),
+                    deterministic,
+                    events: 0,
+                    timer_sets: 0,
+                    timer_fires: 0,
+                    timer_cancels: 0,
+                    last_queue_depth: 0,
+                    error: None,
+                })
+            }
+            None => None,
+        };
         Ok(RunSinks {
             observer: SkewObserver::new(graph),
             trace,
             events,
             metrics,
             watchdog,
+            heartbeat,
             per_event,
         })
     }
@@ -510,18 +698,30 @@ impl RunSinks {
 
 impl EventSink for RunSinks {
     fn enabled(&self) -> bool {
-        self.events.is_some() || self.metrics.is_some() || self.watchdog.is_some()
+        self.events.is_some()
+            || self.metrics.is_some()
+            || self.watchdog.is_some()
+            || self.heartbeat.is_some()
     }
 
     fn record(&mut self, event: &EngineEvent) {
         if let Some((_, w)) = self.events.as_mut() {
             w.record(event);
         }
-        if let Some(m) = self.metrics.as_mut() {
+        if let Some((_, m)) = self.metrics.as_mut() {
             m.record(event);
         }
         if let Some(w) = self.watchdog.as_mut() {
             w.record(event);
+        }
+        if let Some(hb) = self.heartbeat.as_mut() {
+            hb.events += 1;
+            match event {
+                EngineEvent::TimerSet { .. } => hb.timer_sets += 1,
+                EngineEvent::TimerFire { .. } => hb.timer_fires += 1,
+                EngineEvent::TimerCancel { .. } => hb.timer_cancels += 1,
+                _ => {}
+            }
         }
     }
 
@@ -534,11 +734,25 @@ impl EventSink for RunSinks {
         if let Some((_, trace)) = self.trace.as_mut() {
             trace.snapshot(t, clocks, queue_depth);
         }
-        if let Some(m) = self.metrics.as_mut() {
+        if let Some((_, m)) = self.metrics.as_mut() {
             m.snapshot(t, clocks, queue_depth);
         }
         if let Some(w) = self.watchdog.as_mut() {
             w.snapshot(t, clocks, queue_depth);
+        }
+        if let Some(hb) = self.heartbeat.as_mut() {
+            hb.last_queue_depth = queue_depth as u64;
+            if hb.emitter.due(t) && hb.error.is_none() {
+                let input = hb.input(
+                    t,
+                    queue_depth as u64,
+                    &self.observer,
+                    self.watchdog.as_ref(),
+                );
+                if let Err(e) = hb.emitter.beat(&input) {
+                    hb.error = Some(format!("heartbeat write failed: {e}"));
+                }
+            }
         }
     }
 }
@@ -547,7 +761,7 @@ impl EventSink for RunSinks {
 struct RunOutput {
     observer: SkewObserver,
     stats: MessageStats,
-    metrics: Option<MetricsSink>,
+    metrics: Option<(String, MetricsSink)>,
     trip: Option<WatchdogTrip>,
     profile: Option<EngineProfile>,
     /// False when the observer only saw the horizon snapshot (`--threads`):
@@ -616,8 +830,45 @@ where
             .map_err(|e| format!("cannot write event log to {path}: {e}"))?;
         println!("event log written to {path} ({written} events)");
     }
-    if let Some(m) = sinks.metrics.as_mut() {
+    if let Some((_, m)) = sinks.metrics.as_mut() {
         m.flush_rate_window(horizon);
+    }
+    if let Some(hb) = sinks.heartbeat.as_mut() {
+        // Final summary record. The parallel shares are wall-clock
+        // measurements, so deterministic streams omit them (they would
+        // differ across thread counts and machines).
+        let input = hb.input(
+            horizon,
+            hb.last_queue_depth,
+            &sinks.observer,
+            sinks.watchdog.as_ref(),
+        );
+        let par = (!hb.deterministic).then(|| {
+            let wall = profile.as_ref().map_or(0.0, |p| p.par_wall.as_secs_f64());
+            let share = |d: std::time::Duration| {
+                if wall > 0.0 {
+                    d.as_secs_f64() / wall
+                } else {
+                    0.0
+                }
+            };
+            ParStats {
+                threads: threads as u64,
+                windows: profile.as_ref().map_or(0, |p| p.par_windows),
+                replay_share: profile.as_ref().map_or(0.0, |p| share(p.par_replay)),
+                idle_share: profile.as_ref().map_or(0.0, |p| share(p.par_idle)),
+            }
+        });
+        if let Err(e) = hb.emitter.summary(&input, par.as_ref()) {
+            hb.error
+                .get_or_insert(format!("heartbeat write failed: {e}"));
+        }
+        if let Some(e) = hb.error.take() {
+            return Err(e);
+        }
+        if hb.path != "-" {
+            println!("heartbeat log written to {}", hb.path);
+        }
     }
     Ok(RunOutput {
         observer: sinks.observer,
@@ -666,20 +917,48 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             _ => return Err(format!("option --threads: `{v}` is not a count or `auto`")),
         },
     };
-    let needs_snapshots =
-        opts.values.contains_key("trace") || opts.flag("metrics") || opts.flag("watchdog");
-    if threads > 1 && needs_snapshots {
-        eprintln!(
-            "--threads {threads}: --trace/--metrics/--watchdog sample per-event engine \
-             state, which the parallel driver does not reconstruct; running sequentially"
-        );
-        threads = 1;
+    // Observers (--trace/--metrics/--watchdog/--heartbeat) all run under
+    // --threads K>1: the parallel driver reconstructs per-event snapshots
+    // at the window barrier. The one thing it cannot run in parallel is a
+    // delay model with no positive delay lower bound (no lookahead), so
+    // that combination fails fast instead of silently changing the
+    // execution mode.
+    let needs_snapshots = ["trace", "metrics", "watchdog", "heartbeat"]
+        .iter()
+        .any(|key| opts.values.contains_key(*key));
+    if threads > 1 && !delay.lookahead_at(0.0).is_some_and(|la| la.floor > 0.0) {
+        let model = opts.str_or("delays", "uniform");
+        if opts.flag("allow-sequential-fallback") {
+            eprintln!(
+                "--threads {threads}: delay model `{model}` advertises no positive delay \
+                 lower bound; running sequentially (--allow-sequential-fallback)"
+            );
+            threads = 1;
+        } else {
+            return Err(format!(
+                "--threads {threads}: delay model `{model}` advertises no positive delay \
+                 lower bound, so the lookahead-windowed parallel driver cannot execute \
+                 it; drop --threads or pass --allow-sequential-fallback to accept a \
+                 sequential run"
+            ));
+        }
     }
-    let sinks = RunSinks::new(&graph, horizon, opts, params, threads == 1)?;
+    let sinks = RunSinks::new(
+        &graph,
+        horizon,
+        opts,
+        params,
+        threads == 1 || needs_snapshots,
+    )?;
 
     let exec = RunExec {
         horizon,
-        profiling: opts.flag("profile"),
+        // The heartbeat summary reports profile-derived parallel shares,
+        // so a non-deterministic heartbeat turns profiling on (profiling
+        // is observational; outputs stay byte-identical).
+        profiling: opts.flag("profile")
+            || opts.values.contains_key("profile-json")
+            || (opts.values.contains_key("heartbeat") && !opts.flag("deterministic-heartbeat")),
         threads,
     };
     macro_rules! dispatch {
@@ -753,13 +1032,33 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     println!("{table}");
 
     if let Some(profile) = &output.profile {
-        println!();
-        print!("{profile}");
+        if opts.flag("profile") {
+            println!();
+            print!("{profile}");
+        }
+        if let Some(path) = opts.values.get("profile-json") {
+            let json = profile.to_json();
+            if path == "-" {
+                print!("{json}");
+            } else {
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("cannot write profile JSON to {path}: {e}"))?;
+                println!("profile JSON written to {path}");
+            }
+        }
     }
 
-    if let Some(metrics) = &output.metrics {
-        println!("\nmetrics snapshot:");
-        print!("{}", metrics.render());
+    if let Some((path, metrics)) = &output.metrics {
+        let json = metrics.registry().to_json();
+        if path == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write metrics JSON to {path}: {e}"))?;
+            println!("\nmetrics snapshot:");
+            print!("{}", metrics.render());
+            println!("metrics JSON written to {path}");
+        }
     }
 
     match &output.trip {
@@ -844,6 +1143,18 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     };
     let mut csv = open("csv")?;
     let mut jsonl = open("jsonl")?;
+    // Sweep heartbeats are paced by completed-job count, not simulated
+    // time; the cadence passed to the emitter is unused.
+    let mut heartbeat = match opts.values.get("heartbeat") {
+        Some(path) => Some(HeartbeatEmitter::new(
+            heartbeat_writer(path)?,
+            1.0,
+            0.0,
+            opts.flag("deterministic-heartbeat"),
+        )),
+        None => None,
+    };
+    let hb_every = opts.u64_or("heartbeat-every", 1)?.max(1);
     let mut io_error: Option<String> = None;
     if let Some(w) = csv.as_mut() {
         if let Err(e) = writeln!(w, "{}", report::CSV_HEADER) {
@@ -869,6 +1180,9 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         );
         let _ = std::io::stderr().flush();
     });
+    let jobs_total = jobs.len() as u64;
+    let mut hb_done: u64 = 0;
+    let mut hb_events: u64 = 0;
     let (_, aggregate, pool_stats) = run_sweep_timed(
         &jobs,
         workers,
@@ -881,6 +1195,19 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
             if let Some(w) = jsonl.as_mut() {
                 if let Err(e) = writeln!(w, "{}", report::jsonl_row(job, outcome)) {
                     io_error.get_or_insert(format!("jsonl write failed: {e}"));
+                }
+            }
+            // Emission happens in job-index order (see `run_pool`), so
+            // the heartbeat stream is deterministic at any --jobs value.
+            if let Some(hb) = heartbeat.as_mut() {
+                hb_done += 1;
+                if let Some(r) = outcome.completed() {
+                    hb_events += r.events_recorded;
+                }
+                if hb_done.is_multiple_of(hb_every) || hb_done == jobs_total {
+                    if let Err(e) = hb.sweep_beat(hb_done, jobs_total, hb_events, &job.label()) {
+                        io_error.get_or_insert(format!("heartbeat write failed: {e}"));
+                    }
                 }
             }
         },
@@ -902,6 +1229,11 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
             }
         }
     }
+    if let Some(hb) = heartbeat {
+        if let Err(e) = hb.into_inner().flush() {
+            io_error.get_or_insert(format!("heartbeat flush failed: {e}"));
+        }
+    }
     if let Some(e) = io_error {
         return Err(e);
     }
@@ -919,6 +1251,11 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     }
     if let Some(path) = opts.values.get("jsonl") {
         println!("per-job JSONL written to {path}");
+    }
+    if let Some(path) = opts.values.get("heartbeat") {
+        if path != "-" {
+            println!("heartbeat log written to {path}");
+        }
     }
     if aggregate.failed > 0 {
         for (index, message) in &aggregate.failures {
@@ -1039,6 +1376,52 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             "unknown trace action `{other}` (expected summary, blame, or export)"
         )),
     }
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("top needs exactly one heartbeat-stream path (or `-` for stdin)".to_string());
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    let (records, skipped) = clock_sync::telemetry::parse_stream(&text);
+    print!("{}", clock_sync::telemetry::render_top(&records, skipped));
+    Ok(())
+}
+
+/// Compares two bench artifacts. `Ok(true)` means no regressions,
+/// `Ok(false)` means at least one metric regressed (exit code 1 in
+/// `main`); `Err` is a usage or artifact error (exit code 2).
+fn cmd_bench(args: &[String]) -> Result<bool, String> {
+    let [action, old_path, new_path, rest @ ..] = args else {
+        return Err(
+            "bench needs an action (diff) and two `gcs-bench-result/v1` artifact paths".to_string(),
+        );
+    };
+    if action != "diff" {
+        return Err(format!("unknown bench action `{action}` (expected diff)"));
+    }
+    let opts = Options::parse(rest)?;
+    let tolerance = opts.f64_or("tolerance", 0.05)?;
+    if !(tolerance >= 0.0 && tolerance.is_finite()) {
+        return Err(format!(
+            "option --tolerance: must be a non-negative number, got {tolerance}"
+        ));
+    }
+    let read = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let old = parse_artifact(&read(old_path)?).map_err(|e| format!("{old_path}: {e}"))?;
+    let new = parse_artifact(&read(new_path)?).map_err(|e| format!("{new_path}: {e}"))?;
+    let report = bench_diff(&old, &new, tolerance)?;
+    print!("{}", report.render());
+    Ok(report.regressions() == 0)
 }
 
 fn cmd_lb_global(opts: &Options) -> Result<(), String> {

@@ -13,14 +13,20 @@
 //! * [`sweep`] — the parallel, deterministic experiment-sweep orchestrator.
 //! * [`forensics`] — trace parsing, happened-before reconstruction, skew
 //!   provenance (blame), and Chrome trace-event export.
+//! * [`telemetry`] — streaming `gcs-heartbeat/v1` run progress and the
+//!   `gcs top` status rendering.
+//! * [`bench`] — the experiment harness and `gcs bench diff` artifact
+//!   comparison.
 
 #![forbid(unsafe_code)]
 
 pub use gcs_adversary as adversary;
 pub use gcs_analysis as analysis;
+pub use gcs_bench as bench;
 pub use gcs_core as core;
 pub use gcs_forensics as forensics;
 pub use gcs_graph as graph;
 pub use gcs_sim as sim;
 pub use gcs_sweep as sweep;
+pub use gcs_telemetry as telemetry;
 pub use gcs_time as time;

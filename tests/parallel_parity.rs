@@ -11,11 +11,16 @@
 //! * by cross-comparing thread counts on a torus under wavefront and
 //!   constant delays (the latter never falls back: pure parallel execution
 //!   through the final window);
-//! * for the documented fallbacks: a model with no lookahead (uniform
-//!   random delays) and snapshot-hungry sinks (`SkewObserver`,
-//!   `InvariantWatchdog`) must produce identical results, not crashes.
+//! * for the one documented fallback — a model with no lookahead (uniform
+//!   random delays) runs sequentially — and for snapshot-hungry sinks
+//!   (`SkewObserver`, `InvariantWatchdog`, `MetricsSink`, `ClockTrace`),
+//!   which the parallel driver serves through exact barrier-time snapshot
+//!   replay: their results must be identical to the sequential run's, at
+//!   any thread count.
 
-use gcs_analysis::{diff_streams, InvariantWatchdog, JsonlWriter, SkewObserver};
+use gcs_analysis::{
+    diff_streams, ClockTrace, InvariantWatchdog, JsonlWriter, MetricsSink, SkewObserver,
+};
 use gcs_core::{AOpt, Params};
 use gcs_sim::{Engine, EventSink, MessageStats};
 use gcs_sweep::{build_delay, build_rates, parse_topology};
@@ -131,8 +136,9 @@ fn model_without_lookahead_falls_back_gracefully() {
 
 #[test]
 fn skew_observer_results_are_identical_at_any_thread_count() {
-    // `SkewObserver` wants per-event snapshots, which force the sequential
-    // path; the observable contract is simply: same results, any `threads`.
+    // `SkewObserver` wants per-event snapshots; the parallel driver
+    // reconstructs them at the window barrier, so the observable contract
+    // is exact: same results, any `threads`.
     let base = run_with("torus:6x6", "wavefront", 1, {
         let g = parse_topology("torus:6x6", SEED).unwrap();
         SkewObserver::new(&g)
@@ -168,4 +174,43 @@ fn watchdog_results_are_identical_at_any_thread_count() {
     }
     assert!(!base.sink().tripped(), "A^opt must satisfy its invariants");
     assert!(base.sink().snapshots() > 0);
+}
+
+#[test]
+fn metrics_registry_is_byte_identical_at_any_thread_count() {
+    // The metrics sink consumes both the event stream and per-event
+    // snapshots (clock gauges, queue-depth histograms); its rendered
+    // snapshot and its `gcs-metrics/v1` JSON must both be byte-identical
+    // to the sequential run's.
+    let run = |threads| {
+        let engine = run_with("torus:6x6", "wavefront", threads, MetricsSink::new());
+        let mut sink = engine.into_sink();
+        sink.flush_rate_window(60.0);
+        (sink.render(), sink.registry().to_json())
+    };
+    let (base_render, base_json) = run(1);
+    assert!(base_json.contains("\"schema\":\"gcs-metrics/v1\""));
+    for threads in [2, 4] {
+        let (render, json) = run(threads);
+        assert_eq!(render, base_render, "--threads {threads}: metrics render");
+        assert_eq!(json, base_json, "--threads {threads}: metrics JSON");
+    }
+}
+
+#[test]
+fn clock_trace_is_byte_identical_at_any_thread_count() {
+    let make = || {
+        let g = parse_topology("torus:6x6", SEED).unwrap();
+        ClockTrace::new(g.len(), 0.1)
+    };
+    let base = run_with("torus:6x6", "const", 1, make())
+        .into_sink()
+        .to_csv();
+    assert!(base.lines().count() > 10, "trace sampled a real run");
+    for threads in [2, 4] {
+        let csv = run_with("torus:6x6", "const", threads, make())
+            .into_sink()
+            .to_csv();
+        assert_eq!(csv, base, "--threads {threads}: clock trace CSV");
+    }
 }
