@@ -23,16 +23,24 @@
 //!   observations, used to *verify* indistinguishability empirically.
 //! * [`stress`] — heuristic greedy adversaries (delay flapping) used by the
 //!   baseline-comparison experiments.
+//! * [`fault`] — timed fault primitives (clog/flap/drop/dup/partition/
+//!   crash/rate) and the seeded [`ChaosDelay`] injection layer behind the
+//!   `gcs chaos` scenario engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod framed;
 pub mod logged;
 pub mod shift;
 pub mod slowdown;
 pub mod stress;
 
+pub use fault::{
+    apply_rate_faults, format_schedule, parse_schedule, ChaosDelay, EdgeSel, FaultClause,
+    FaultKind, NodeSel,
+};
 pub use framed::{LocalLowerBound, StageReport};
 pub use logged::{LocalLog, Logged, LoggedEvent};
 pub use shift::{GlobalLowerBound, ShiftReport};

@@ -29,6 +29,14 @@ pub struct ComplexityReport {
     /// paper's reliable-links model; a lossy delay model makes the drop
     /// attribution visible here.
     pub per_node_dropped: Vec<u64>,
+    /// Drops attributed to the delay model itself (`lossy`'s i.i.d. loss).
+    pub dropped_model: u64,
+    /// Drops attributed to injected faults (the chaos layer). Disjoint
+    /// from `dropped_model`: each dropped transmission is counted exactly
+    /// once, under its cause.
+    pub dropped_faults: u64,
+    /// Fault-injected duplicate transmissions.
+    pub duplicated: u64,
     /// Ratio of the busiest node's delivery count to the mean (1.0 = perfectly
     /// balanced; grows with degree imbalance, e.g. the hub of a star).
     pub delivery_imbalance: f64,
@@ -72,6 +80,9 @@ impl ComplexityReport {
             state_bits_per_node: Self::state_bits(params, max_degree, diameter),
             per_node_deliveries: stats.per_node_deliveries.clone(),
             per_node_dropped: stats.per_node_dropped.clone(),
+            dropped_model: stats.dropped_model,
+            dropped_faults: stats.dropped_faults,
+            duplicated: stats.duplicated,
             delivery_imbalance,
         }
     }

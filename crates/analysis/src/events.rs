@@ -41,11 +41,12 @@ pub fn encode_event(event: &EngineEvent) -> String {
                 dst.index(),
             )
         }
-        EngineEvent::Drop { src, dst, t } => {
+        EngineEvent::Drop { src, dst, t, cause } => {
             format!(
-                r#"{{"kind":"{kind}","src":{},"dst":{},"t":{t}}}"#,
+                r#"{{"kind":"{kind}","src":{},"dst":{},"t":{t},"cause":"{}"}}"#,
                 src.index(),
                 dst.index(),
+                cause.label(),
             )
         }
         EngineEvent::Deliver {
@@ -233,6 +234,7 @@ mod tests {
                 src: NodeId(1),
                 dst: NodeId(0),
                 t: 3.0,
+                cause: gcs_sim::DropCause::Fault,
             },
             EngineEvent::Deliver {
                 src: NodeId(0),
@@ -294,6 +296,7 @@ mod tests {
             src: NodeId(0),
             dst: NodeId(1),
             t: 1.0,
+            cause: gcs_sim::DropCause::Model,
         });
         w.record(&EngineEvent::Wake {
             node: NodeId(0),

@@ -59,6 +59,37 @@ pub enum WatchdogViolation {
     LegalState(LegalStateViolation),
 }
 
+impl WatchdogViolation {
+    /// A short stable tag (`envelope` / `progress` / `legal`), used by the
+    /// chaos engine's verdict plumbing and fixture format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WatchdogViolation::Envelope { .. } => "envelope",
+            WatchdogViolation::Progress { .. } => "progress",
+            WatchdogViolation::LegalState(_) => "legal",
+        }
+    }
+
+    /// The (primary) offending node — the ahead node for a legal-state
+    /// violation.
+    pub fn node(&self) -> usize {
+        match self {
+            WatchdogViolation::Envelope { node, .. } | WatchdogViolation::Progress { node, .. } => {
+                *node
+            }
+            WatchdogViolation::LegalState(v) => v.v,
+        }
+    }
+
+    /// Real time of the violating sample.
+    pub fn time(&self) -> f64 {
+        match self {
+            WatchdogViolation::Envelope { t, .. } | WatchdogViolation::Progress { t, .. } => *t,
+            WatchdogViolation::LegalState(v) => v.t,
+        }
+    }
+}
+
 /// The frozen diagnosis of the first violation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WatchdogTrip {

@@ -1,0 +1,250 @@
+//! The `.chaos` scenario document: one complete, self-contained experiment
+//! — topology, algorithm, parameters, delay/rate substrate, seed, and the
+//! fault schedule — in a line-oriented `key = value` format.
+//!
+//! The format is designed for **byte-identical round-trips**: `format` is
+//! canonical (fixed key order, shortest-round-trip float `Display`, one
+//! `fault =` line per clause), and `parse(format(spec)) == spec` exactly.
+//! That property is what lets the shrinker promise "same seed →
+//! byte-identical minimal reproducer" and lets committed fixtures be
+//! diffed meaningfully.
+
+use std::fmt::Write as _;
+
+use gcs_adversary::FaultClause;
+
+/// An expected (recorded) watchdog violation, written into shrunk fixtures
+/// so `gcs chaos replay` can verify the exact same invariant re-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpectedViolation {
+    /// Violation tag: `envelope`, `progress`, or `legal`.
+    pub kind: String,
+    /// The (primary) offending node.
+    pub node: usize,
+    /// Real time of the violating sample.
+    pub t: f64,
+}
+
+impl ExpectedViolation {
+    fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split_whitespace().collect();
+        match parts.as_slice() {
+            [kind, "node", node, "t", t] => Ok(ExpectedViolation {
+                kind: (*kind).to_string(),
+                node: node
+                    .parse()
+                    .map_err(|_| format!("bad node in violation `{s}`"))?,
+                t: t.parse()
+                    .map_err(|_| format!("bad time in violation `{s}`"))?,
+            }),
+            _ => Err(format!(
+                "bad violation `{s}` (expected `<kind> node <N> t <T>`)"
+            )),
+        }
+    }
+
+    fn format(&self) -> String {
+        format!("{} node {} t {}", self.kind, self.node, self.t)
+    }
+}
+
+/// One chaos scenario. Field syntax matches the sweep mini-language
+/// ([`gcs_sweep`]'s `parse_topology` / `build_delay` / `build_rates`);
+/// fault clauses use [`gcs_adversary::fault`]'s grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Topology spec, e.g. `path:8`.
+    pub topology: String,
+    /// Algorithm name (one of [`gcs_sweep::ALGOS`]).
+    pub algo: String,
+    /// Maximum hardware drift ε.
+    pub eps: f64,
+    /// Delay bound 𝒯̂ the algorithm is parameterized with.
+    pub t: f64,
+    /// Optional explicit base σ (defaults to the recommended choice).
+    pub sigma: Option<u32>,
+    /// Delay-model spec, e.g. `const` or `uniform`.
+    pub delay: String,
+    /// Rate-schedule spec, e.g. `nominal` or `split`.
+    pub rates: String,
+    /// Real-time horizon to run to (extended if the delay model needs
+    /// longer, exactly as in sweep jobs).
+    pub horizon: f64,
+    /// Master seed: topology randomness, delay randomness, rate walks, and
+    /// every fault coin-flip derive from it.
+    pub seed: u64,
+    /// The fault schedule.
+    pub faults: Vec<FaultClause>,
+    /// Recorded violation for replay verification (shrunk fixtures carry
+    /// one; hand-written scenarios usually don't).
+    pub violation: Option<ExpectedViolation>,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            topology: "path:8".into(),
+            algo: "aopt".into(),
+            eps: 0.02,
+            t: 0.2,
+            sigma: None,
+            delay: "const".into(),
+            rates: "nominal".into(),
+            horizon: 60.0,
+            seed: 0,
+            faults: Vec::new(),
+            violation: None,
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// Parses a `.chaos` document. Unknown keys are errors (a typoed key
+    /// silently falling back to a default would change the scenario);
+    /// missing keys take the [`ChaosSpec::default`] values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = ChaosSpec::default();
+        let mut faults = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("line {}: bad {what} `{value}`", lineno + 1);
+            match key {
+                "topology" => spec.topology = value.to_string(),
+                "algo" => spec.algo = value.to_string(),
+                "eps" => spec.eps = value.parse().map_err(|_| bad("eps"))?,
+                "t" => spec.t = value.parse().map_err(|_| bad("t"))?,
+                "sigma" => spec.sigma = Some(value.parse().map_err(|_| bad("sigma"))?),
+                "delay" => spec.delay = value.to_string(),
+                "rates" => spec.rates = value.to_string(),
+                "horizon" => spec.horizon = value.parse().map_err(|_| bad("horizon"))?,
+                "seed" => spec.seed = value.parse().map_err(|_| bad("seed"))?,
+                "fault" => faults.push(
+                    FaultClause::parse(value).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                ),
+                "violation" => {
+                    spec.violation = Some(
+                        ExpectedViolation::parse(value)
+                            .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                    )
+                }
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        spec.faults = faults;
+        Ok(spec)
+    }
+
+    /// Renders the canonical document form: fixed key order, every float in
+    /// shortest-round-trip `Display`, trailing newline. `parse ∘ format`
+    /// is the identity, and `format ∘ parse` is idempotent.
+    pub fn format(&self) -> String {
+        let mut out = String::from("# gcs chaos scenario (format v1)\n");
+        let _ = writeln!(out, "topology = {}", self.topology);
+        let _ = writeln!(out, "algo = {}", self.algo);
+        let _ = writeln!(out, "eps = {}", self.eps);
+        let _ = writeln!(out, "t = {}", self.t);
+        if let Some(sigma) = self.sigma {
+            let _ = writeln!(out, "sigma = {sigma}");
+        }
+        let _ = writeln!(out, "delay = {}", self.delay);
+        let _ = writeln!(out, "rates = {}", self.rates);
+        let _ = writeln!(out, "horizon = {}", self.horizon);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        for clause in &self.faults {
+            let _ = writeln!(out, "fault = {clause}");
+        }
+        if let Some(v) = &self.violation {
+            let _ = writeln!(out, "violation = {}", v.format());
+        }
+        out
+    }
+
+    /// The one-command reproduction line for this scenario stored at
+    /// `path`.
+    pub fn repro_line(path: &str) -> String {
+        format!("gcs chaos replay {path}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_then_parse_is_identity() {
+        let spec = ChaosSpec {
+            topology: "ring:9".into(),
+            algo: "jump".into(),
+            eps: 0.05,
+            t: 0.25,
+            sigma: Some(2),
+            delay: "uniform".into(),
+            rates: "split".into(),
+            horizon: 42.5,
+            seed: 987654321,
+            faults: vec![
+                FaultClause::parse("drop:1..9:0-1/2-3:0.25").unwrap(),
+                FaultClause::parse("partition:5..20:0..4").unwrap(),
+                FaultClause::parse("rate:3..7:2/5:0.9").unwrap(),
+            ],
+            violation: Some(ExpectedViolation {
+                kind: "legal".into(),
+                node: 3,
+                t: 12.625,
+            }),
+        };
+        let text = spec.format();
+        let parsed = ChaosSpec::parse(&text).unwrap();
+        assert_eq!(parsed, spec);
+        // Idempotent canonical form: re-formatting changes nothing.
+        assert_eq!(parsed.format(), text);
+    }
+
+    #[test]
+    fn missing_keys_take_defaults_and_comments_are_ignored() {
+        let spec = ChaosSpec::parse("# a comment\n\nseed = 7\nfault = crash:0..5:1/2\n").unwrap();
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.topology, "path:8");
+        assert_eq!(spec.faults.len(), 1);
+        assert!(spec.violation.is_none());
+    }
+
+    #[test]
+    fn bad_documents_are_rejected_with_line_numbers() {
+        assert!(ChaosSpec::parse("bogus line")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(ChaosSpec::parse("warp = 9")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(ChaosSpec::parse("eps = fast")
+            .unwrap_err()
+            .contains("bad eps"));
+        assert!(ChaosSpec::parse("fault = melt:0..1:*")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(ChaosSpec::parse("violation = legal at 3").is_err());
+    }
+
+    #[test]
+    fn float_display_round_trips_exactly() {
+        // The shrinker halves durations; halving produces exact binary
+        // floats whose Display round-trips bit-for-bit.
+        let mut spec = ChaosSpec {
+            horizon: 60.0,
+            ..ChaosSpec::default()
+        };
+        for _ in 0..20 {
+            spec.horizon /= 2.0;
+            let rt = ChaosSpec::parse(&spec.format()).unwrap();
+            assert_eq!(rt.horizon.to_bits(), spec.horizon.to_bits());
+        }
+    }
+}

@@ -136,7 +136,7 @@ impl Dag {
                     messages.push(msg);
                     note_edge(&mut edge_set, src, dst);
                 }
-                EngineEvent::Drop { src, dst, t } => {
+                EngineEvent::Drop { src, dst, t, .. } => {
                     cause[i] = last_send_at[src.0];
                     drops.push((src, dst, t));
                     note_edge(&mut edge_set, src, dst);
@@ -383,6 +383,7 @@ mod tests {
                 src: n(0),
                 dst: n(1),
                 t: 0.0,
+                cause: gcs_sim::DropCause::Model,
             },
             EngineEvent::Send {
                 node: n(0),

@@ -107,11 +107,22 @@ pub fn parse_line(line: &str) -> Result<EngineEvent, String> {
                 delay,
             })
         }
-        "drop" => Ok(EngineEvent::Drop {
-            src: node_field("src")?,
-            dst: node_field("dst")?,
-            t: num("t")?,
-        }),
+        "drop" => {
+            // Streams written before per-cause accounting carry no
+            // `cause` field; treat those as model drops.
+            let cause = match value.get("cause") {
+                None => gcs_sim::DropCause::Model,
+                Some(Json::Str(s)) if s == "model" => gcs_sim::DropCause::Model,
+                Some(Json::Str(s)) if s == "fault" => gcs_sim::DropCause::Fault,
+                _ => return Err("`drop` event: `cause` must be \"model\" or \"fault\"".into()),
+            };
+            Ok(EngineEvent::Drop {
+                src: node_field("src")?,
+                dst: node_field("dst")?,
+                t: num("t")?,
+                cause,
+            })
+        }
         "deliver" => Ok(EngineEvent::Deliver {
             src: node_field("src")?,
             dst: node_field("dst")?,
@@ -186,6 +197,7 @@ mod tests {
                 src: NodeId(1),
                 dst: NodeId(0),
                 t: 3.0,
+                cause: gcs_sim::DropCause::Fault,
             },
             EngineEvent::Deliver {
                 src: NodeId(0),

@@ -247,6 +247,7 @@ mod tests {
                 src: n(1),
                 dst: n(0),
                 t: 2.0,
+                cause: gcs_sim::DropCause::Model,
             },
         ];
         let summary = TraceSummary::from_dag(&Dag::from_events(events));

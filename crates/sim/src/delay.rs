@@ -16,6 +16,30 @@ use gcs_time::HardwareClock;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
+/// Why a transmission was dropped, for per-cause accounting (the engine
+/// keeps separate [`MessageStats`](crate::MessageStats) counters so an
+/// injected-fault drop is never confused with a lossy-model drop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// The delay model itself dropped the message (e.g. [`LossyDelay`]'s
+    /// i.i.d. loss).
+    Model,
+    /// An injected fault dropped the message (the chaos layer's drop,
+    /// partition, and crash clauses).
+    Fault,
+}
+
+impl DropCause {
+    /// A short stable label (`model` / `fault`), used by the JSONL event
+    /// encoding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropCause::Model => "model",
+            DropCause::Fault => "fault",
+        }
+    }
+}
+
 /// How a message should be delivered.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Delivery {
@@ -29,9 +53,23 @@ pub enum Delivery {
     /// Drop the message.
     ///
     /// **Beyond the paper's model**, which assumes reliable links; used by
-    /// the robustness extension ([`LossyDelay`]) to probe how gracefully
-    /// the algorithms degrade when that assumption is broken.
-    Drop,
+    /// the robustness extension ([`LossyDelay`]) and the chaos fault layer
+    /// to probe how gracefully the algorithms degrade when that assumption
+    /// is broken. The cause keeps the two attributions separate.
+    Drop(DropCause),
+    /// Deliver the message **twice**: the original copy after `delay` and a
+    /// fault-injected duplicate after `echo` (both real-time delays,
+    /// `delay <= echo`).
+    ///
+    /// **Beyond the paper's model**: the chaos layer's duplication fault.
+    /// The duplicate counts as its own transmission and delivery in
+    /// [`MessageStats`](crate::MessageStats), plus one `duplicated` tick.
+    AfterEcho {
+        /// Delay of the original copy.
+        delay: f64,
+        /// Delay of the duplicated copy (`>= delay`).
+        echo: f64,
+    },
 }
 
 /// A hardware-clock reading supplied either precomputed or on demand.
@@ -168,7 +206,9 @@ impl<'a> DelayCtx<'a> {
 /// `[now, valid_until)`:
 ///
 /// * the delivery is [`Delivery::After(d)`](Delivery::After) with
-///   `d >= floor` — never [`Delivery::AtReceiverHw`];
+///   `d >= floor`, an [`Delivery::AfterEcho`] with both delays `>= floor`,
+///   or a [`Delivery::Drop`] (which schedules nothing and therefore cannot
+///   violate any window) — never [`Delivery::AtReceiverHw`];
 /// * the delivery is a *pure function* of the [`DelayCtx`] — independent of
 ///   call order and of calls on cloned copies of the model (which rules out
 ///   models drawing from an RNG stream), and it never consults
@@ -444,7 +484,7 @@ impl<D: DelayModel> LossyDelay<D> {
 impl<D: DelayModel> DelayModel for LossyDelay<D> {
     fn delivery(&mut self, ctx: &DelayCtx<'_>) -> Delivery {
         if self.loss > 0.0 && self.rng.gen_bool(self.loss) {
-            Delivery::Drop
+            Delivery::Drop(DropCause::Model)
         } else {
             self.inner.delivery(ctx)
         }
@@ -558,7 +598,7 @@ mod tests {
         let mut dropped = 0;
         let trials = 2000;
         for _ in 0..trials {
-            if m.delivery(&ctx(&g, 0, 1)) == Delivery::Drop {
+            if m.delivery(&ctx(&g, 0, 1)) == Delivery::Drop(DropCause::Model) {
                 dropped += 1;
             }
         }

@@ -25,9 +25,21 @@ pub struct MessageStats {
     pub transmissions: u64,
     /// Number of delivered messages.
     pub deliveries: u64,
-    /// Number of transmissions dropped by the delay model (always 0 under
-    /// the paper's reliable-links model).
+    /// Total number of dropped transmissions (always 0 under the paper's
+    /// reliable-links model). Always equals
+    /// `dropped_model + dropped_faults` — the per-cause counters partition
+    /// the total, nothing is double-counted.
     pub dropped: u64,
+    /// Transmissions dropped by the delay model itself (e.g. the `lossy`
+    /// wrapper's i.i.d. loss).
+    pub dropped_model: u64,
+    /// Transmissions dropped by an injected fault (the chaos layer's drop,
+    /// partition, and crash clauses).
+    pub dropped_faults: u64,
+    /// Fault-injected duplicate copies delivered in addition to their
+    /// originals ([`Delivery::AfterEcho`]). Each duplicate also counts as
+    /// one transmission and (eventually) one delivery.
+    pub duplicated: u64,
     /// Send events per node.
     pub per_node_sends: Vec<u64>,
     /// Messages delivered to each node.
@@ -767,15 +779,64 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
             self.delay.delivery(&ctx)
         };
         match delivery {
-            Delivery::Drop => {
+            Delivery::Drop(cause) => {
                 self.stats.dropped += 1;
+                match cause {
+                    crate::delay::DropCause::Model => self.stats.dropped_model += 1,
+                    crate::delay::DropCause::Fault => self.stats.dropped_faults += 1,
+                }
                 self.stats.per_node_dropped[dst.index()] += 1;
                 if self.sink.enabled() {
                     self.sink.record(&EngineEvent::Drop {
                         src,
                         dst,
                         t: self.now,
+                        cause,
                     });
+                }
+            }
+            Delivery::AfterEcho { delay, echo } => {
+                assert!(
+                    delay.is_finite() && delay >= 0.0 && echo.is_finite() && echo >= delay,
+                    "delay model produced invalid echo pair ({delay}, {echo})"
+                );
+                // The duplicate is its own per-edge copy: one extra
+                // transmission, one `duplicated` tick, and its own Deliver
+                // event down the normal queue path.
+                self.stats.transmissions += 1;
+                self.stats.duplicated += 1;
+                for d in [delay, echo] {
+                    if self.sink.enabled() {
+                        self.sink.record(&EngineEvent::Transmit {
+                            src,
+                            dst,
+                            t: self.now,
+                            delay: Some(d),
+                        });
+                    }
+                    let time = self.now + d;
+                    if remote_dst {
+                        assert!(time.is_finite(), "non-finite event time");
+                        let seq = self.seq;
+                        self.seq += 1;
+                        let r = self.remote.as_deref_mut().expect("remote_dst implies Some");
+                        r.outbox.push(crate::parallel::Outgoing {
+                            time,
+                            seq,
+                            src,
+                            dst,
+                            msg: msg.clone(),
+                        });
+                    } else {
+                        self.push(
+                            time,
+                            EventKind::Deliver {
+                                src,
+                                dst,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
                 }
             }
             Delivery::After(d) => {

@@ -78,8 +78,8 @@ pub mod sink;
 mod ticked;
 
 pub use delay::{
-    BimodalDelay, ConstantDelay, DelayCtx, DelayModel, Delivery, DirectionalDelay, FnDelay,
-    Lookahead, LossyDelay, UniformDelay,
+    BimodalDelay, ConstantDelay, DelayCtx, DelayModel, Delivery, DirectionalDelay, DropCause,
+    FnDelay, Lookahead, LossyDelay, UniformDelay,
 };
 pub use engine::{Engine, EngineBuilder, MessageStats};
 pub use profile::EngineProfile;

@@ -582,6 +582,9 @@ where
             self.stats.transmissions += s.transmissions;
             self.stats.deliveries += s.deliveries;
             self.stats.dropped += s.dropped;
+            self.stats.dropped_model += s.dropped_model;
+            self.stats.dropped_faults += s.dropped_faults;
+            self.stats.duplicated += s.duplicated;
             for (acc, x) in self.stats.per_node_sends.iter_mut().zip(&s.per_node_sends) {
                 *acc += x;
             }

@@ -25,6 +25,7 @@
 
 use gcs_graph::NodeId;
 
+use crate::delay::DropCause;
 use crate::protocol::TimerId;
 
 /// One engine transition, in the order the engine performed it.
@@ -75,6 +76,9 @@ pub enum EngineEvent {
         dst: NodeId,
         /// Real time of the drop decision.
         t: f64,
+        /// Whether the model itself (e.g. `lossy`) or an injected fault
+        /// layer dropped the copy.
+        cause: DropCause,
     },
     /// A message reached its receiver.
     Deliver {
@@ -380,6 +384,7 @@ mod tests {
             src: NodeId(0),
             dst: NodeId(1),
             t: 1.0,
+            cause: DropCause::Model,
         });
         assert_eq!(sink.0.events.len(), 1);
         assert_eq!(sink.1.recorded(), 1);
@@ -419,6 +424,7 @@ mod tests {
                 src: NodeId(0),
                 dst: NodeId(1),
                 t: 0.0,
+                cause: DropCause::Model,
             }
             .kind(),
             EngineEvent::Deliver {

@@ -178,6 +178,9 @@ mod tests {
             transmissions: 20,
             deliveries: 20,
             dropped: 0,
+            dropped_model: 0,
+            dropped_faults: 0,
+            duplicated: 0,
             events_recorded: 50,
             watchdog_tripped: true,
         };

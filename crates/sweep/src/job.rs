@@ -1,6 +1,7 @@
 //! Executing one sweep job: a fresh engine, a fresh observability stack,
 //! one measured execution.
 
+use gcs_adversary::{apply_rate_faults, ChaosDelay};
 use gcs_analysis::{InvariantWatchdog, MetricsSink, SkewObserver};
 use gcs_core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
@@ -9,7 +10,7 @@ use gcs_graph::Graph;
 use gcs_sim::{Engine, EngineEvent, EventSink, MessageStats, Protocol};
 use gcs_time::{DriftBounds, RateSchedule};
 
-use crate::parse::{build_delay, build_rates, parse_topology, SweepDelay};
+use crate::parse::{build_delay, build_rates, parse_topology, resolve_chaos, SweepDelay};
 use crate::spec::JobSpec;
 
 /// Measurements from one completed job.
@@ -35,8 +36,14 @@ pub struct JobResult {
     pub transmissions: u64,
     /// Delivered messages.
     pub deliveries: u64,
-    /// Messages dropped by the delay model.
+    /// Messages dropped in total (`dropped_model + dropped_faults`).
     pub dropped: u64,
+    /// Drops attributed to the delay model itself (`lossy`-style loss).
+    pub dropped_model: u64,
+    /// Drops attributed to injected chaos faults.
+    pub dropped_faults: u64,
+    /// Fault-injected duplicate transmissions.
+    pub duplicated: u64,
     /// Engine events recorded by the per-job metrics sink.
     pub events_recorded: u64,
     /// Whether the invariant watchdog tripped (always `false` when the
@@ -91,7 +98,7 @@ impl EventSink for JobSinks {
 fn exec<P: Protocol>(
     graph: Graph,
     protocols: Vec<P>,
-    delay: SweepDelay,
+    delay: ChaosDelay<SweepDelay>,
     schedules: Vec<RateSchedule>,
     horizon: f64,
     sinks: JobSinks,
@@ -133,7 +140,12 @@ pub fn run_job(job: &JobSpec) -> Result<JobResult, String> {
     let base_horizon = job.horizon + job.horizon_per_diameter * d as f64 * job.t;
     let (delay, min_horizon) = build_delay(&job.delay, &graph, job.t, job.eps, job.seed)?;
     let horizon = base_horizon.max(min_horizon);
-    let schedules = build_rates(&job.rates, &graph, drift, horizon, job.seed)?;
+    let mut schedules = build_rates(&job.rates, &graph, drift, horizon, job.seed)?;
+    // The chaos layer always wraps; an empty schedule is fully transparent,
+    // so chaos-free jobs behave exactly as before.
+    let clauses = resolve_chaos(&job.chaos)?;
+    apply_rate_faults(&mut schedules, &clauses)?;
+    let delay = ChaosDelay::new(delay, clauses, job.seed);
     let sinks = JobSinks::new(&graph, params, drift, job.watchdog);
 
     macro_rules! run {
@@ -165,6 +177,9 @@ pub fn run_job(job: &JobSpec) -> Result<JobResult, String> {
         transmissions: stats.transmissions,
         deliveries: stats.deliveries,
         dropped: stats.dropped,
+        dropped_model: stats.dropped_model,
+        dropped_faults: stats.dropped_faults,
+        duplicated: stats.duplicated,
         events_recorded: sinks
             .metrics
             .registry()
@@ -198,6 +213,51 @@ mod tests {
         assert!(a.send_events > 0 && a.deliveries > 0);
         assert!(a.events_recorded > 0);
         assert!(!a.watchdog_tripped);
+    }
+
+    #[test]
+    fn chaos_drops_are_attributed_to_faults_not_the_model() {
+        let spec = SweepSpec {
+            topologies: vec!["path:6".into()],
+            delays: vec!["const".into()],
+            rates: vec!["nominal".into()],
+            chaos: vec!["drop:5..15:*:0.5".into()],
+            horizon: 30.0,
+            ..SweepSpec::default()
+        };
+        let job = &spec.expand()[0];
+        let a = run_job(job).unwrap();
+        let b = run_job(job).unwrap();
+        assert_eq!(a, b, "chaos jobs must stay deterministic");
+        assert!(a.dropped_faults > 0, "the drop clause must fire");
+        assert_eq!(a.dropped_model, 0, "no lossy model in play");
+        assert_eq!(a.dropped, a.dropped_model + a.dropped_faults);
+
+        // The same grid point without chaos loses nothing.
+        let clean = SweepSpec {
+            chaos: vec!["none".into()],
+            ..spec.clone()
+        };
+        let c = run_job(&clean.expand()[0]).unwrap();
+        assert_eq!(c.dropped, 0);
+        assert_eq!(c.duplicated, 0);
+    }
+
+    #[test]
+    fn chaos_duplicates_are_counted() {
+        let spec = SweepSpec {
+            topologies: vec!["path:4".into()],
+            delays: vec!["const".into()],
+            rates: vec!["nominal".into()],
+            chaos: vec!["dup:0..20:*:1:0.05".into()],
+            horizon: 25.0,
+            ..SweepSpec::default()
+        };
+        let r = run_job(&spec.expand()[0]).unwrap();
+        assert!(r.duplicated > 0);
+        assert_eq!(r.dropped, 0);
+        // Every duplicate is its own transmission and delivery.
+        assert_eq!(r.deliveries, r.transmissions);
     }
 
     #[test]

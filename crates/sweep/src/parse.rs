@@ -250,6 +250,24 @@ pub fn build_delay(
     }
 }
 
+/// Resolves a sweep `chaos` axis value into a fault schedule: `none` (or
+/// empty) → no faults, a `*.chaos` path → the file's `fault =` lines, and
+/// anything else → an inline `;`-separated clause list (see
+/// [`gcs_adversary::fault::parse_schedule`]).
+///
+/// # Errors
+///
+/// Returns the file-read or clause-parse failure.
+pub fn resolve_chaos(spec: &str) -> Result<Vec<gcs_adversary::FaultClause>, String> {
+    if spec.ends_with(".chaos") {
+        let text =
+            std::fs::read_to_string(spec).map_err(|e| format!("chaos file `{spec}`: {e}"))?;
+        return gcs_adversary::parse_schedule(&text)
+            .map_err(|e| format!("chaos file `{spec}`: {e}"));
+    }
+    gcs_adversary::parse_schedule(spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,16 +12,17 @@ use crate::pool::JobOutcome;
 use crate::spec::JobSpec;
 
 /// The per-job CSV header row (no trailing newline).
-pub const CSV_HEADER: &str = "job,topology,algo,eps,t,sigma,delay,rates,seed,status,nodes,\
+pub const CSV_HEADER: &str = "job,topology,algo,eps,t,sigma,delay,rates,chaos,seed,status,nodes,\
      diameter,horizon,global_skew,local_skew,global_bound,local_bound,send_events,\
-     transmissions,deliveries,dropped,events,watchdog_tripped,error";
+     transmissions,deliveries,dropped,dropped_model,dropped_faults,duplicated,events,\
+     watchdog_tripped,error";
 
 /// Encodes one job outcome as a CSV row (no trailing newline), columns as
 /// in [`CSV_HEADER`].
 pub fn csv_row(job: &JobSpec, outcome: &JobOutcome<JobResult>) -> String {
     let sigma = job.sigma.map_or(String::new(), |s| s.to_string());
     let head = format!(
-        "{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{}",
         job.index,
         csv_escape(&job.topology),
         job.algo,
@@ -30,11 +31,12 @@ pub fn csv_row(job: &JobSpec, outcome: &JobOutcome<JobResult>) -> String {
         sigma,
         csv_escape(&job.delay),
         csv_escape(&job.rates),
+        csv_escape(&job.chaos),
         job.seed
     );
     match outcome {
         JobOutcome::Completed(r) => format!(
-            "{head},completed,{},{},{},{},{},{},{},{},{},{},{},{},{},",
+            "{head},completed,{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},",
             r.nodes,
             r.diameter,
             r.horizon,
@@ -46,11 +48,14 @@ pub fn csv_row(job: &JobSpec, outcome: &JobOutcome<JobResult>) -> String {
             r.transmissions,
             r.deliveries,
             r.dropped,
+            r.dropped_model,
+            r.dropped_faults,
+            r.duplicated,
             r.events_recorded,
             r.watchdog_tripped
         ),
         JobOutcome::Failed(message) => {
-            format!("{head},failed,,,,,,,,,,,,,,{}", csv_escape(message))
+            format!("{head},failed,,,,,,,,,,,,,,,,,{}", csv_escape(message))
         }
     }
 }
@@ -59,7 +64,7 @@ pub fn csv_row(job: &JobSpec, outcome: &JobOutcome<JobResult>) -> String {
 pub fn jsonl_row(job: &JobSpec, outcome: &JobOutcome<JobResult>) -> String {
     let sigma = job.sigma.map_or("null".to_string(), |s| s.to_string());
     let head = format!(
-        r#"{{"kind":"job","job":{},"topology":{},"algo":{},"eps":{},"t":{},"sigma":{},"delay":{},"rates":{},"seed":{}"#,
+        r#"{{"kind":"job","job":{},"topology":{},"algo":{},"eps":{},"t":{},"sigma":{},"delay":{},"rates":{},"chaos":{},"seed":{}"#,
         job.index,
         json_string(&job.topology),
         json_string(&job.algo),
@@ -68,11 +73,12 @@ pub fn jsonl_row(job: &JobSpec, outcome: &JobOutcome<JobResult>) -> String {
         sigma,
         json_string(&job.delay),
         json_string(&job.rates),
+        json_string(&job.chaos),
         job.seed
     );
     match outcome {
         JobOutcome::Completed(r) => format!(
-            r#"{head},"status":"completed","nodes":{},"diameter":{},"horizon":{},"global_skew":{},"local_skew":{},"global_bound":{},"local_bound":{},"send_events":{},"transmissions":{},"deliveries":{},"dropped":{},"events":{},"watchdog_tripped":{}}}"#,
+            r#"{head},"status":"completed","nodes":{},"diameter":{},"horizon":{},"global_skew":{},"local_skew":{},"global_bound":{},"local_bound":{},"send_events":{},"transmissions":{},"deliveries":{},"dropped":{},"dropped_model":{},"dropped_faults":{},"duplicated":{},"events":{},"watchdog_tripped":{}}}"#,
             r.nodes,
             r.diameter,
             json_f64(r.horizon),
@@ -84,6 +90,9 @@ pub fn jsonl_row(job: &JobSpec, outcome: &JobOutcome<JobResult>) -> String {
             r.transmissions,
             r.deliveries,
             r.dropped,
+            r.dropped_model,
+            r.dropped_faults,
+            r.duplicated,
             r.events_recorded,
             r.watchdog_tripped
         ),
@@ -193,6 +202,9 @@ mod tests {
             transmissions: 20,
             deliveries: 20,
             dropped: 0,
+            dropped_model: 0,
+            dropped_faults: 0,
+            duplicated: 0,
             events_recorded: 50,
             watchdog_tripped: false,
         });

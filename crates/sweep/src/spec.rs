@@ -38,8 +38,11 @@ pub struct SweepSpec {
     /// Rate-schedule specs, e.g. `walk`, `split`, `distsplit`,
     /// `alternating:PERIOD`.
     pub rates: Vec<String>,
+    /// Chaos fault schedules: `none`, an inline `;`-separated clause list
+    /// (see [`gcs_adversary::fault`]), or a `*.chaos` scenario file path.
+    pub chaos: Vec<String>,
     /// Seed range (half-open). Seeds feed random topologies, delay models,
-    /// and rate schedules.
+    /// rate schedules, and chaos fault decisions.
     pub seeds: Range<u64>,
     /// Base real-time horizon of each execution.
     pub horizon: f64,
@@ -61,6 +64,7 @@ impl Default for SweepSpec {
             sigmas: vec![None],
             delays: vec!["uniform".into()],
             rates: vec!["walk".into()],
+            chaos: vec!["none".into()],
             seeds: DEFAULT_SEEDS,
             horizon: 60.0,
             horizon_per_diameter: 0.0,
@@ -90,6 +94,8 @@ pub struct JobSpec {
     pub delay: String,
     /// Rate-schedule spec.
     pub rates: String,
+    /// Chaos fault schedule (`none`, inline clauses, or a `*.chaos` path).
+    pub chaos: String,
     /// Seed for every randomized component of the job.
     pub seed: u64,
     /// Base horizon (before diameter scaling).
@@ -107,8 +113,13 @@ impl JobSpec {
             Some(s) => format!(" sigma={s}"),
             None => String::new(),
         };
+        let chaos = if self.chaos == "none" {
+            String::new()
+        } else {
+            format!(" chaos={}", self.chaos)
+        };
         format!(
-            "#{} {} {} eps={} t={}{} {} {} seed={}",
+            "#{} {} {} eps={} t={}{} {} {}{} seed={}",
             self.index,
             self.algo,
             self.topology,
@@ -117,6 +128,7 @@ impl JobSpec {
             sigma,
             self.delay,
             self.rates,
+            chaos,
             self.seed
         )
     }
@@ -124,7 +136,7 @@ impl JobSpec {
 
 impl SweepSpec {
     /// Expands the grid into jobs, in the fixed nesting order
-    /// `topology → algo → ε̂ → 𝒯̂ → σ → delay → rates → seed`
+    /// `topology → algo → ε̂ → 𝒯̂ → σ → delay → rates → chaos → seed`
     /// (seed varies fastest). Job `index` is the enumeration position.
     pub fn expand(&self) -> Vec<JobSpec> {
         let mut jobs = Vec::with_capacity(self.len());
@@ -135,21 +147,24 @@ impl SweepSpec {
                         for &sigma in &self.sigmas {
                             for delay in &self.delays {
                                 for rates in &self.rates {
-                                    for seed in self.seeds.clone() {
-                                        jobs.push(JobSpec {
-                                            index: jobs.len(),
-                                            topology: topology.clone(),
-                                            algo: algo.clone(),
-                                            eps,
-                                            t,
-                                            sigma,
-                                            delay: delay.clone(),
-                                            rates: rates.clone(),
-                                            seed,
-                                            horizon: self.horizon,
-                                            horizon_per_diameter: self.horizon_per_diameter,
-                                            watchdog: self.watchdog,
-                                        });
+                                    for chaos in &self.chaos {
+                                        for seed in self.seeds.clone() {
+                                            jobs.push(JobSpec {
+                                                index: jobs.len(),
+                                                topology: topology.clone(),
+                                                algo: algo.clone(),
+                                                eps,
+                                                t,
+                                                sigma,
+                                                delay: delay.clone(),
+                                                rates: rates.clone(),
+                                                chaos: chaos.clone(),
+                                                seed,
+                                                horizon: self.horizon,
+                                                horizon_per_diameter: self.horizon_per_diameter,
+                                                watchdog: self.watchdog,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -170,6 +185,7 @@ impl SweepSpec {
             * self.sigmas.len()
             * self.delays.len()
             * self.rates.len()
+            * self.chaos.len()
             * self.seeds.clone().count()
     }
 
@@ -198,6 +214,9 @@ impl SweepSpec {
         }
         for r in &self.rates {
             parse_rates_kind(r)?;
+        }
+        for c in &self.chaos {
+            crate::parse::resolve_chaos(c)?;
         }
         for &e in &self.eps {
             if !(e > 0.0 && e < 1.0) {
@@ -255,6 +274,7 @@ impl SweepSpec {
     /// | `sigma` | integers, or `recommended` |
     /// | `delays` | delay specs |
     /// | `rates` | rate specs |
+    /// | `chaos` | `none`, inline fault clauses, or `*.chaos` paths |
     /// | `seeds` | `N` (⇒ `0..N`) or `A..B` |
     /// | `horizon` | float |
     /// | `horizon-per-d` | float |
@@ -279,6 +299,7 @@ impl SweepSpec {
             }
             "delays" => self.delays = parse_list(value),
             "rates" => self.rates = parse_list(value),
+            "chaos" => self.chaos = parse_list(value),
             "seeds" => {
                 self.seeds = match value.split_once("..") {
                     Some((a, b)) => {

@@ -5,6 +5,7 @@
 //! gcs bounds        print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
 //! gcs run           simulate an algorithm on a topology and report skews
 //! gcs sweep         run a parameter grid on a parallel worker pool
+//! gcs chaos         seeded fault-injection scenarios (run|batch|shrink|replay)
 //! gcs trace         forensics over a recorded event stream
 //! gcs top           render a live heartbeat stream as a status report
 //! gcs bench         compare benchmark artifacts (bench diff OLD NEW)
@@ -29,6 +30,9 @@ use clock_sync::analysis::{
     SkewObserver, Table, WatchdogTrip,
 };
 use clock_sync::bench::{diff as bench_diff, parse_artifact};
+use clock_sync::chaos::{
+    run_batch, run_scenario, shrink as shrink_scenario, BatchConfig, ChaosSpec, ScenarioOutcome,
+};
 use clock_sync::core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
@@ -55,6 +59,7 @@ COMMANDS:
     bounds        print A^opt parameters and skew bounds for (ε̂, 𝒯̂, D)
     run           simulate one algorithm on one topology and report skews
     sweep         run a parameter grid on a parallel worker pool
+    chaos         seeded fault-injection scenarios (run|batch|shrink|replay)
     trace         forensics over a recorded event stream (summary|blame|export)
     top           render a `--heartbeat` stream as a status report
     bench         compare `gcs-bench-result/v1` artifacts (bench diff OLD NEW)
@@ -82,6 +87,7 @@ EXAMPLES:
     gcs bounds --eps 1e-4 --t 0.001 --d 30
     gcs run --topology grid:6x6 --delays uniform --rates walk --horizon 200
     gcs sweep --topologies path:9,path:17 --seeds 8 --jobs 4 --csv out.csv
+    gcs chaos batch --scenarios 1000 --fixtures chaos-findings
     gcs run --events run.jsonl && gcs trace blame run.jsonl
     gcs run --horizon 400 --heartbeat - | gcs top -
     gcs bench diff BENCH_engine_hotpath.json new/BENCH_engine_hotpath.json
@@ -180,8 +186,8 @@ at any --jobs value.
 USAGE:
     gcs sweep [--spec FILE] [--topologies LIST] [--algos LIST] [--eps LIST]
               [--t LIST] [--sigma LIST] [--delays LIST] [--rates LIST]
-              [--seeds N | A..B] [--horizon H] [--horizon-per-d X]
-              [--watchdog] [--jobs N] [--dry-run]
+              [--chaos LIST] [--seeds N | A..B] [--horizon H]
+              [--horizon-per-d X] [--watchdog] [--jobs N] [--dry-run]
               [--csv FILE] [--jsonl FILE]
 
 AXES (comma-separated lists; defaults in parentheses):
@@ -192,6 +198,8 @@ AXES (comma-separated lists; defaults in parentheses):
     --sigma LIST         σ values or `recommended` (recommended)
     --delays LIST        delay-model specs         (uniform)
     --rates LIST         rate-schedule specs       (walk)
+    --chaos LIST         fault schedules: `none`, inline clause lists, or
+                         `*.chaos` files           (none)
     --seeds N | A..B     seed count or range       (0..1)
     --horizon H          base horizon per job      (60)
     --horizon-per-d X    extra horizon per D·𝒯̂     (0)
@@ -345,11 +353,60 @@ OPTIONS:
     --algo NAME   nosync (default) | aopt | jump
 ";
 
+const CHAOS_USAGE: &str = "\
+gcs chaos — seeded fault-injection scenarios with an invariant oracle
+
+Scenarios are `.chaos` documents (see docs/CHAOS.md): topology, algorithm,
+substrate specs, a seed, and a schedule of timed fault clauses compiled
+onto the delay model. Every scenario is deterministic — its outcome is a
+pure function of the document, at any thread count — and the invariant
+watchdog (Conditions (1)/(2), Definition 5.6) is the online oracle. A
+violation is *expected* when an out-of-model clause (a rate outside the
+drift bounds, a clog beyond 𝒯̂, a partition, a crash) allows it; otherwise
+it is a **finding**.
+
+USAGE:
+    gcs chaos run FILE.chaos [--threads K]
+    gcs chaos batch [--scenarios N] [--start-seed S] [--jobs W]
+                    [--threads K] [--no-shrink] [--fixtures DIR]
+    gcs chaos shrink FILE.chaos [--out FILE.chaos] [--threads K]
+    gcs chaos replay FILE.chaos [--threads K]
+
+SUBCOMMANDS:
+    run       execute one scenario and print the oracle's verdict
+    batch     run N seed-randomized scenarios on the worker pool; shrink
+              every finding to a minimal reproducer `.chaos` fixture with
+              a one-command repro line
+    shrink    minimize a violating scenario — delta-debug whole clauses,
+              halve durations, bisect windows, trim the horizon — until
+              locally minimal; same input → byte-identical output
+    replay    re-run a fixture and verify it reproduces its recorded
+              violation (kind, node, and time must match exactly)
+
+OPTIONS:
+    --scenarios N     scenarios per batch                    (default 1000)
+    --start-seed S    seed of the first scenario             (default 1)
+    --jobs W          pool workers (default: available parallelism)
+    --threads K       engine threads per scenario            (default 1)
+    --no-shrink       report findings without minimizing them
+    --fixtures DIR    write finding fixtures into DIR instead of printing
+                      the minimal documents to stdout
+    --out FILE        where shrink writes the reproducer
+                      (default: INPUT with a .min.chaos suffix)
+
+EXIT STATUS:
+    0  no findings (batch) / reproduced (replay) / ran (run, shrink)
+    1  findings or failures (batch), violation mismatch (replay),
+       unexpected violation (run)
+    2  usage or execution errors
+";
+
 /// Every subcommand with its usage text, in help-listing order.
 const COMMANDS: &[(&str, &str)] = &[
     ("bounds", BOUNDS_USAGE),
     ("run", RUN_USAGE),
     ("sweep", SWEEP_USAGE),
+    ("chaos", CHAOS_USAGE),
     ("trace", TRACE_USAGE),
     ("top", TOP_USAGE),
     ("bench", BENCH_USAGE),
@@ -396,6 +453,19 @@ fn main() -> ExitCode {
     // comparison itself.
     if command == "bench" {
         return match cmd_bench(rest) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    // chaos distinguishes "findings / replay mismatch" (exit 1) from
+    // usage and execution errors (exit 2) so CI can gate on the oracle
+    // verdict itself.
+    if command == "chaos" {
+        return match cmd_chaos(rest) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::FAILURE,
             Err(message) => {
@@ -451,6 +521,7 @@ impl Options {
         "global",
         "chrome",
         "allow-sequential-fallback",
+        "no-shrink",
         "deterministic-heartbeat",
     ];
 
@@ -1095,6 +1166,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         "sigma",
         "delays",
         "rates",
+        "chaos",
         "seeds",
         "horizon",
         "horizon-per-d",
@@ -1113,7 +1185,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
 
     if opts.flag("dry-run") {
         let mut table = Table::new(vec![
-            "job", "topology", "algo", "eps", "t", "sigma", "delay", "rates", "seed",
+            "job", "topology", "algo", "eps", "t", "sigma", "delay", "rates", "chaos", "seed",
         ]);
         for job in &jobs {
             table.row(vec![
@@ -1125,6 +1197,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
                 job.sigma.map_or_else(|| "rec".into(), |s| s.to_string()),
                 job.delay.clone(),
                 job.rates.clone(),
+                job.chaos.clone(),
                 job.seed.to_string(),
             ]);
         }
@@ -1504,4 +1577,197 @@ fn cmd_lb_local(opts: &Options) -> Result<(), String> {
         lb.guaranteed_final_skew()
     );
     Ok(())
+}
+
+/// `gcs chaos` — see [`CHAOS_USAGE`]. Returns `Ok(false)` for oracle-level
+/// failures (findings, replay mismatch) so `main` can exit 1 vs. 2.
+fn cmd_chaos(args: &[String]) -> Result<bool, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("chaos needs a subcommand: run | batch | shrink | replay".into());
+    };
+    // One optional positional FILE.chaos, then ordinary --key options.
+    let (path, flags) = match rest.split_first() {
+        Some((first, more)) if !first.starts_with("--") => (Some(first.as_str()), more),
+        _ => (None, rest),
+    };
+    let opts = Options::parse(flags)?;
+    let threads = opts.usize_or("threads", 1)?.max(1);
+    let need_path = || path.ok_or_else(|| format!("chaos {sub} needs a FILE.chaos argument"));
+    let load = |p: &str| -> Result<ChaosSpec, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        ChaosSpec::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    match sub.as_str() {
+        "run" => {
+            let spec = load(need_path()?)?;
+            let out = run_scenario(&spec, threads)?;
+            print_chaos_outcome(&out);
+            Ok(!out.unexpected())
+        }
+        "batch" => {
+            if path.is_some() {
+                return Err("chaos batch takes options only, no FILE argument".into());
+            }
+            let cfg = BatchConfig {
+                scenarios: opts.usize_or("scenarios", 1000)?,
+                start_seed: opts.u64_or("start-seed", 1)?,
+                workers: opts.usize_or("jobs", 0)?,
+                threads,
+                shrink: !opts.flag("no-shrink"),
+            };
+            println!(
+                "chaos batch: {} scenarios from seed {}",
+                cfg.scenarios, cfg.start_seed
+            );
+            let summary = run_batch(&cfg);
+            let mut table = Table::new(vec!["verdict", "count"]);
+            table.row(vec!["clean".into(), summary.clean.to_string()]);
+            table.row(vec![
+                "expected violations".into(),
+                summary.expected_violations.to_string(),
+            ]);
+            table.row(vec![
+                "findings (unexpected)".into(),
+                summary.findings.len().to_string(),
+            ]);
+            table.row(vec!["failed".into(), summary.failed.len().to_string()]);
+            println!("{table}");
+            for (seed, error) in &summary.failed {
+                eprintln!("seed {seed} failed: {error}");
+            }
+            for f in &summary.findings {
+                let spec = f.shrunk.as_ref().map_or(&f.spec, |s| &s.spec);
+                match opts.values.get("fixtures") {
+                    Some(dir) => {
+                        std::fs::create_dir_all(dir)
+                            .map_err(|e| format!("cannot create {dir}: {e}"))?;
+                        let file = format!("{dir}/finding-{}.chaos", f.seed);
+                        std::fs::write(&file, spec.format())
+                            .map_err(|e| format!("cannot write {file}: {e}"))?;
+                        println!("finding: seed {} ({}) -> {file}", f.seed, f.kind);
+                        println!("repro: {}", ChaosSpec::repro_line(&file));
+                    }
+                    None => {
+                        println!("finding: seed {} ({}):", f.seed, f.kind);
+                        print!("{}", spec.format());
+                    }
+                }
+            }
+            Ok(summary.findings.is_empty() && summary.failed.is_empty())
+        }
+        "shrink" => {
+            let p = need_path()?;
+            let spec = load(p)?;
+            let res = shrink_scenario(&spec, threads)?;
+            let out_path = match opts.values.get("out") {
+                Some(o) => o.clone(),
+                None => format!("{}.min.chaos", p.strip_suffix(".chaos").unwrap_or(p)),
+            };
+            std::fs::write(&out_path, res.spec.format())
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            println!(
+                "shrunk {} clause{} -> {} in {} executions",
+                res.original_clauses,
+                if res.original_clauses == 1 { "" } else { "s" },
+                res.spec.faults.len(),
+                res.executions
+            );
+            println!(
+                "violation: {} at node {} t {}",
+                res.violation.kind(),
+                res.violation.node(),
+                res.violation.time()
+            );
+            println!("wrote {out_path}");
+            println!("repro: {}", ChaosSpec::repro_line(&out_path));
+            Ok(true)
+        }
+        "replay" => {
+            let p = need_path()?;
+            let spec = load(p)?;
+            let out = run_scenario(&spec, threads)?;
+            let observed = out
+                .violation
+                .as_ref()
+                .map(|v| format!("{} at node {} t {}", v.kind(), v.node(), v.time()));
+            let recorded = spec
+                .violation
+                .as_ref()
+                .map(|v| format!("{} at node {} t {}", v.kind, v.node, v.t));
+            let reproduced = match (&spec.violation, &out.violation) {
+                (Some(exp), Some(got)) => {
+                    exp.kind == got.kind()
+                        && exp.node == got.node()
+                        && exp.t.to_bits() == got.time().to_bits()
+                }
+                (None, None) => true,
+                _ => false,
+            };
+            let none = || "clean (no violation)".to_string();
+            if reproduced {
+                println!("reproduced: {}", recorded.unwrap_or_else(none));
+                Ok(true)
+            } else {
+                println!("MISMATCH:");
+                println!("  recorded: {}", recorded.unwrap_or_else(none));
+                println!("  observed: {}", observed.unwrap_or_else(none));
+                Ok(false)
+            }
+        }
+        other => Err(format!(
+            "unknown chaos subcommand `{other}` (expected run | batch | shrink | replay)"
+        )),
+    }
+}
+
+/// Renders one scenario outcome as the `gcs chaos run` report.
+fn print_chaos_outcome(out: &ScenarioOutcome) {
+    let mut table = Table::new(vec!["quantity", "value"]);
+    table.row(vec!["nodes".into(), out.nodes.to_string()]);
+    table.row(vec!["diameter".into(), out.diameter.to_string()]);
+    table.row(vec!["horizon".into(), format!("{}", out.horizon)]);
+    table.row(vec![
+        "global skew".into(),
+        format!("{:.6}", out.global_skew),
+    ]);
+    table.row(vec![
+        "global bound 𝒢".into(),
+        format!("{:.6}", out.global_bound),
+    ]);
+    table.row(vec!["local skew".into(), format!("{:.6}", out.local_skew)]);
+    table.row(vec![
+        "local bound".into(),
+        format!("{:.6}", out.local_bound),
+    ]);
+    table.row(vec![
+        "transmissions".into(),
+        out.stats.transmissions.to_string(),
+    ]);
+    table.row(vec!["deliveries".into(), out.stats.deliveries.to_string()]);
+    table.row(vec![
+        "dropped (model)".into(),
+        out.stats.dropped_model.to_string(),
+    ]);
+    table.row(vec![
+        "dropped (faults)".into(),
+        out.stats.dropped_faults.to_string(),
+    ]);
+    table.row(vec!["duplicated".into(), out.stats.duplicated.to_string()]);
+    println!("{table}");
+    match &out.violation {
+        None => println!("oracle: clean — no invariant violation"),
+        Some(v) => {
+            let class = if out.violation_expected {
+                "expected (out-of-model clause present)"
+            } else {
+                "UNEXPECTED — a finding"
+            };
+            println!(
+                "oracle: {} violation at node {} t {} — {class}",
+                v.kind(),
+                v.node(),
+                v.time()
+            );
+        }
+    }
 }

@@ -11,6 +11,8 @@
 //! * [`adversary`] — the paper's worst-case execution constructions.
 //! * [`analysis`] — skew traces, legal-state checking, accounting.
 //! * [`sweep`] — the parallel, deterministic experiment-sweep orchestrator.
+//! * [`chaos`] — seeded fault-injection scenarios, the invariant-oracle
+//!   batch runner, and automatic execution shrinking.
 //! * [`forensics`] — trace parsing, happened-before reconstruction, skew
 //!   provenance (blame), and Chrome trace-event export.
 //! * [`telemetry`] — streaming `gcs-heartbeat/v1` run progress and the
@@ -23,6 +25,7 @@
 pub use gcs_adversary as adversary;
 pub use gcs_analysis as analysis;
 pub use gcs_bench as bench;
+pub use gcs_chaos as chaos;
 pub use gcs_core as core;
 pub use gcs_forensics as forensics;
 pub use gcs_graph as graph;
