@@ -412,12 +412,33 @@ impl MetricsRegistry {
 ///   windowed at a configurable width,
 /// * a `global_skew` histogram sampling the clock spread after every event,
 /// * `time.last` — the real time of the latest observation.
+///
+/// The hot path touches **no registry maps**: the standard metrics live in
+/// preresolved fields (an `events.*` counter array indexed by
+/// [`EngineEvent::kind_index`], owned histograms) and are folded into the
+/// registry lazily when it is read — the per-event name lookups and
+/// `format!` allocations that made this sink cost 6× an uninstrumented
+/// engine are gone from the recording path entirely.
 #[derive(Debug, Clone)]
 pub struct MetricsSink {
+    /// Synced view plus any custom metrics added via
+    /// [`MetricsSink::registry_mut`]. The standard metric names listed
+    /// above are owned by the sink: external writes to them are
+    /// overwritten at the next sync.
     registry: MetricsRegistry,
     window: f64,
     window_start: f64,
     window_events: u64,
+    // Preresolved hot-path handles.
+    events_total: u64,
+    kind_counts: [u64; gcs_sim::KIND_COUNT],
+    message_delay: Histogram,
+    queue_depth: Histogram,
+    global_skew: Histogram,
+    events_per_time: Histogram,
+    time_last: f64,
+    queue_last: f64,
+    seen_snapshot: bool,
 }
 
 impl Default for MetricsSink {
@@ -444,21 +465,64 @@ impl MetricsSink {
             window,
             window_start: 0.0,
             window_events: 0,
+            events_total: 0,
+            kind_counts: [0; gcs_sim::KIND_COUNT],
+            message_delay: Histogram::exponential(1e-3, 2.0, 16),
+            queue_depth: Histogram::exponential(1.0, 2.0, 12),
+            global_skew: Histogram::exponential(1e-6, 4.0, 20),
+            events_per_time: Histogram::exponential(1.0, 2.0, 20),
+            time_last: 0.0,
+            queue_last: 0.0,
+            seen_snapshot: false,
         }
     }
 
-    /// The live registry.
-    pub fn registry(&self) -> &MetricsRegistry {
+    /// Folds the preresolved hot-path state into the registry so every
+    /// read-side accessor sees a consistent view. Idempotent; standard
+    /// metric names appear only once their first observation exists,
+    /// exactly as the old lazily-created entries did.
+    fn sync(&mut self) {
+        if self.events_total > 0 {
+            let c = self.registry.counter("events.total");
+            c.add(self.events_total - c.get());
+        }
+        for (i, &n) in self.kind_counts.iter().enumerate() {
+            if n > 0 {
+                let c = self.registry.counter(KIND_COUNTER_NAMES[i]);
+                c.add(n - c.get());
+            }
+        }
+        for (name, h) in [
+            ("message_delay", &self.message_delay),
+            ("queue_depth", &self.queue_depth),
+            ("global_skew", &self.global_skew),
+            ("events_per_time", &self.events_per_time),
+        ] {
+            if h.count() > 0 {
+                *self.registry.histogram(name, || h.clone()) = h.clone();
+            }
+        }
+        if self.seen_snapshot {
+            self.registry.gauge("time.last").set(self.time_last);
+            self.registry.gauge("queue_depth.last").set(self.queue_last);
+        }
+    }
+
+    /// The live registry (synced with the hot-path state on every call).
+    pub fn registry(&mut self) -> &MetricsRegistry {
+        self.sync();
         &self.registry
     }
 
     /// Mutable registry access (to add custom metrics alongside).
     pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        self.sync();
         &mut self.registry
     }
 
     /// Renders the current snapshot (see [`MetricsRegistry::render`]).
-    pub fn render(&self) -> String {
+    pub fn render(&mut self) -> String {
+        self.sync();
         self.registry.render()
     }
 
@@ -469,9 +533,7 @@ impl MetricsSink {
         let elapsed = t - self.window_start;
         if self.window_events > 0 && elapsed > 0.0 {
             let rate = self.window_events as f64 / elapsed;
-            self.registry
-                .histogram("events_per_time", || Histogram::exponential(1.0, 2.0, 20))
-                .record(rate);
+            self.events_per_time.record(rate);
         }
         self.window_start = t;
         self.window_events = 0;
@@ -480,27 +542,37 @@ impl MetricsSink {
     fn roll_rate_window(&mut self, t: f64) {
         while t >= self.window_start + self.window {
             let rate = self.window_events as f64 / self.window;
-            self.registry
-                .histogram("events_per_time", || Histogram::exponential(1.0, 2.0, 20))
-                .record(rate);
+            self.events_per_time.record(rate);
             self.window_start += self.window;
             self.window_events = 0;
         }
     }
 }
 
+/// `events.*` counter names, indexed by [`EngineEvent::kind_index`] — the
+/// preresolved replacement for the old per-event `format!` lookups.
+const KIND_COUNTER_NAMES: [&str; gcs_sim::KIND_COUNT] = [
+    "events.wake",
+    "events.send",
+    "events.transmit",
+    "events.drop",
+    "events.deliver",
+    "events.timer_set",
+    "events.timer_cancel",
+    "events.timer_fire",
+    "events.rate_step",
+    "events.multiplier",
+];
+
 impl EventSink for MetricsSink {
+    #[inline]
     fn record(&mut self, event: &EngineEvent) {
         self.roll_rate_window(event.time());
         self.window_events += 1;
-        self.registry.counter("events.total").inc();
-        self.registry
-            .counter(&format!("events.{}", event.kind()))
-            .inc();
+        self.events_total += 1;
+        self.kind_counts[event.kind_index()] += 1;
         if let EngineEvent::Transmit { delay: Some(d), .. } = event {
-            self.registry
-                .histogram("message_delay", || Histogram::exponential(1e-3, 2.0, 16))
-                .record(*d);
+            self.message_delay.record(*d);
         }
     }
 
@@ -508,14 +580,12 @@ impl EventSink for MetricsSink {
         true
     }
 
+    #[inline]
     fn snapshot(&mut self, t: f64, clocks: &[f64], queue_depth: usize) {
-        self.registry.gauge("time.last").set(t);
-        self.registry
-            .gauge("queue_depth.last")
-            .set(queue_depth as f64);
-        self.registry
-            .histogram("queue_depth", || Histogram::exponential(1.0, 2.0, 12))
-            .record(queue_depth as f64);
+        self.time_last = t;
+        self.queue_last = queue_depth as f64;
+        self.seen_snapshot = true;
+        self.queue_depth.record(queue_depth as f64);
         let mut max = f64::NEG_INFINITY;
         let mut min = f64::INFINITY;
         for &c in clocks {
@@ -523,9 +593,7 @@ impl EventSink for MetricsSink {
             min = min.min(c);
         }
         if max >= min {
-            self.registry
-                .histogram("global_skew", || Histogram::exponential(1e-6, 4.0, 20))
-                .record(max - min);
+            self.global_skew.record(max - min);
         }
     }
 }

@@ -9,7 +9,7 @@ use gcs_core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
 use gcs_graph::Graph;
-use gcs_sim::{Engine, EngineEvent, EventSink, MessageStats, Protocol};
+use gcs_sim::{Engine, EngineEvent, EventSink, MessageStats, Protocol, RecorderSink};
 use gcs_sweep::{build_delay, build_rates, parse_topology, SweepDelay};
 use gcs_time::{DriftBounds, RateSchedule};
 
@@ -40,6 +40,10 @@ pub struct ScenarioOutcome {
     /// to break an invariant (out-of-model fault). A violation without such
     /// a clause is an **unexpected** violation — a finding.
     pub violation_expected: bool,
+    /// The flight-recorder window at end of run, present only when the
+    /// oracle tripped: the recent events leading up to the violation, in
+    /// execution order, ready to dump as a JSONL forensic artifact.
+    pub recorder_window: Option<Vec<EngineEvent>>,
 }
 
 impl ScenarioOutcome {
@@ -49,14 +53,17 @@ impl ScenarioOutcome {
     }
 }
 
-/// The oracle sink: exact skew observation plus the invariant watchdog.
+/// The oracle sink: exact skew observation plus the invariant watchdog,
+/// with the flight recorder armed so a violation leaves a causal window.
 struct OracleSinks {
     observer: SkewObserver,
     watchdog: InvariantWatchdog,
+    recorder: RecorderSink,
 }
 
 impl EventSink for OracleSinks {
     fn record(&mut self, event: &EngineEvent) {
+        self.recorder.record(event);
         self.watchdog.record(event);
     }
 
@@ -130,6 +137,7 @@ pub fn run_scenario(spec: &ChaosSpec, threads: usize) -> Result<ScenarioOutcome,
     let sinks = OracleSinks {
         observer: SkewObserver::new(&graph),
         watchdog: InvariantWatchdog::new(&graph, params, drift),
+        recorder: RecorderSink::new(),
     };
 
     macro_rules! run {
@@ -148,6 +156,8 @@ pub fn run_scenario(spec: &ChaosSpec, threads: usize) -> Result<ScenarioOutcome,
         other => return Err(format!("unknown algorithm `{other}`")),
     };
 
+    let violation = sinks.watchdog.trip().map(|trip| trip.violation.clone());
+    let recorder_window = violation.is_some().then(|| sinks.recorder.window_events());
     Ok(ScenarioOutcome {
         nodes: n,
         diameter: d,
@@ -157,8 +167,9 @@ pub fn run_scenario(spec: &ChaosSpec, threads: usize) -> Result<ScenarioOutcome,
         global_bound: params.global_skew_bound(d),
         local_bound: params.local_skew_bound(d),
         stats,
-        violation: sinks.watchdog.trip().map(|trip| trip.violation.clone()),
+        violation,
         violation_expected,
+        recorder_window,
     })
 }
 
@@ -222,6 +233,20 @@ mod tests {
         assert!(!out.unexpected());
         let v = out.violation.expect("rate attack must trip the watchdog");
         assert!(matches!(v.kind(), "envelope" | "progress"));
+    }
+
+    #[test]
+    fn violations_carry_a_recorder_window() {
+        let spec = spec_with(&["rate:5..40:0..1:0.9"]);
+        let out = run_scenario(&spec, 1).unwrap();
+        let window = out
+            .recorder_window
+            .as_ref()
+            .expect("a tripped scenario must attach its recorder window");
+        assert!(!window.is_empty());
+        // Clean scenarios attach nothing — the window is a violation artifact.
+        let clean = run_scenario(&spec_with(&[]), 1).unwrap();
+        assert!(clean.recorder_window.is_none());
     }
 
     #[test]

@@ -66,23 +66,30 @@ impl Bencher {
         }
     }
 
-    fn median(&self) -> Option<Duration> {
+    /// `(median, min)` over the collected samples.
+    fn stats(&self) -> Option<(Duration, Duration)> {
         if self.samples.is_empty() {
             return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort();
-        Some(sorted[sorted.len() / 2])
+        Some((sorted[sorted.len() / 2], sorted[0]))
     }
 }
 
-fn run_one(id: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) -> Option<Duration> {
+fn run_one(
+    id: &str,
+    sample_count: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> Option<(Duration, Duration)> {
     let mut bencher = Bencher::new(sample_count);
     f(&mut bencher);
-    match bencher.median() {
-        Some(median) => {
-            println!("bench {id:<40} median {median:>12.3?} ({sample_count} samples)");
-            Some(median)
+    match bencher.stats() {
+        Some((median, min)) => {
+            println!(
+                "bench {id:<40} median {median:>12.3?} min {min:>12.3?} ({sample_count} samples)"
+            );
+            Some((median, min))
         }
         None => {
             println!("bench {id:<40} (no samples)");
@@ -99,6 +106,9 @@ pub struct BenchResult {
     pub id: String,
     /// Median wall-clock time per iteration.
     pub median: Duration,
+    /// Fastest sample — the most load-robust point estimate a shared
+    /// machine can give, so the right numerator for overhead ratios.
+    pub min: Duration,
     /// Samples taken.
     pub samples: usize,
 }
@@ -135,11 +145,12 @@ impl Criterion {
         std::mem::take(&mut self.results)
     }
 
-    fn record(&mut self, id: &str, samples: usize, median: Option<Duration>) {
-        if let Some(median) = median {
+    fn record(&mut self, id: &str, samples: usize, stats: Option<(Duration, Duration)>) {
+        if let Some((median, min)) = stats {
             self.results.push(BenchResult {
                 id: id.to_string(),
                 median,
+                min,
                 samples,
             });
         }
@@ -147,8 +158,8 @@ impl Criterion {
 
     /// Runs one benchmark.
     pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let median = run_one(id, self.sample_count, &mut f);
-        self.record(id, self.sample_count, median);
+        let stats = run_one(id, self.sample_count, &mut f);
+        self.record(id, self.sample_count, stats);
         self
     }
 
@@ -185,8 +196,8 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         let id = format!("{}/{}", self.name, id);
         let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
-        let median = run_one(&id, samples, &mut f);
-        self.criterion.record(&id, samples, median);
+        let stats = run_one(&id, samples, &mut f);
+        self.criterion.record(&id, samples, stats);
         self
     }
 

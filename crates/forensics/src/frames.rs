@@ -1,0 +1,132 @@
+//! Decoding raw binary flight-recorder dumps back into typed
+//! [`EngineEvent`]s.
+//!
+//! `gcs run --dump-recorder <path>` writes JSONL by default, but a path
+//! ending in `.gcsrec`/`.bin` gets the raw frame format instead:
+//! [`gcs_sim::RECORDER_MAGIC`] followed by [`gcs_sim::FRAME_LEN`]-byte
+//! frames in ascending sequence order (see the frame layout table on
+//! [`gcs_sim::FRAME_LEN`]). This module is the forensics-side decoder: the
+//! `gcs trace` subcommands sniff the magic and route binary dumps through
+//! [`decode_dump`], so summaries, blame chains, and Chrome exports work on
+//! either representation of the same window.
+
+use std::fmt;
+
+use gcs_sim::{decode_frame, EngineEvent, FRAME_LEN, RECORDER_MAGIC};
+
+/// A binary dump decode failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameError {
+    /// Byte offset into the dump where decoding failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Whether `bytes` starts with the raw recorder-dump magic.
+pub fn is_recorder_dump(bytes: &[u8]) -> bool {
+    bytes.len() >= RECORDER_MAGIC.len() && &bytes[..RECORDER_MAGIC.len()] == RECORDER_MAGIC
+}
+
+/// Decodes a whole raw recorder dump (magic + frames) into events in
+/// execution order.
+///
+/// # Errors
+///
+/// Fails with the byte offset when the magic is missing, the payload is
+/// not a whole number of frames, a frame is malformed, or sequence
+/// numbers are not strictly ascending (a well-formed dump is sorted by
+/// the recorder before writing).
+pub fn decode_dump(bytes: &[u8]) -> Result<Vec<EngineEvent>, FrameError> {
+    if !is_recorder_dump(bytes) {
+        return Err(FrameError {
+            offset: 0,
+            message: format!(
+                "missing `{}` magic — not a raw recorder dump",
+                String::from_utf8_lossy(RECORDER_MAGIC)
+            ),
+        });
+    }
+    let body = &bytes[RECORDER_MAGIC.len()..];
+    if !body.len().is_multiple_of(FRAME_LEN) {
+        return Err(FrameError {
+            offset: bytes.len(),
+            message: format!(
+                "truncated dump: {} payload bytes is not a multiple of the {FRAME_LEN}-byte \
+                 frame size",
+                body.len()
+            ),
+        });
+    }
+    let mut events = Vec::with_capacity(body.len() / FRAME_LEN);
+    let mut last_seq = None;
+    for (i, chunk) in body.chunks(FRAME_LEN).enumerate() {
+        let offset = RECORDER_MAGIC.len() + i * FRAME_LEN;
+        let (seq, event) = decode_frame(chunk).map_err(|message| FrameError { offset, message })?;
+        if last_seq >= Some(seq) {
+            return Err(FrameError {
+                offset,
+                message: format!("sequence numbers not ascending at frame {i} (seq {seq})"),
+            });
+        }
+        last_seq = Some(seq);
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_graph::NodeId;
+    use gcs_sim::{encode_frame, EventSink, RecorderSink};
+
+    fn wake(node: usize, t: f64) -> EngineEvent {
+        EngineEvent::Wake {
+            node: NodeId(node),
+            t,
+            hw: t,
+        }
+    }
+
+    #[test]
+    fn decodes_a_recorder_dump_end_to_end() {
+        let mut rec = RecorderSink::with_geometry(4, 16);
+        let events: Vec<EngineEvent> = (0..10).map(|i| wake(i % 3, i as f64)).collect();
+        for e in &events {
+            rec.record(e);
+        }
+        let bytes = rec.window_frames();
+        assert!(is_recorder_dump(&bytes));
+        assert_eq!(decode_dump(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn rejects_missing_magic_and_truncation() {
+        assert!(!is_recorder_dump(b"{\"kind\":\"wake\""));
+        assert_eq!(decode_dump(b"nope").unwrap_err().offset, 0);
+
+        let mut bytes = RECORDER_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_frame(&wake(0, 1.0), 0));
+        bytes.pop(); // truncate the single frame
+        let err = decode_dump(&bytes).unwrap_err();
+        assert!(err.message.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_ascending_sequences() {
+        let mut bytes = RECORDER_MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_frame(&wake(0, 1.0), 7));
+        bytes.extend_from_slice(&encode_frame(&wake(1, 2.0), 7));
+        let err = decode_dump(&bytes).unwrap_err();
+        assert!(err.message.contains("not ascending"), "{err}");
+    }
+}

@@ -42,6 +42,7 @@ pub mod blame;
 pub mod chrome;
 pub mod clocks;
 pub mod dag;
+pub mod frames;
 pub mod json;
 pub mod parse;
 pub mod summary;
@@ -50,6 +51,7 @@ pub use blame::{blame, causal_chain, find_peaks, BlameReport, Chain, Hop, PeakRe
 pub use chrome::export_chrome;
 pub use clocks::{ClockReconstruction, NodeClock, Segment};
 pub use dag::{event_node, Dag, EventId, Message};
+pub use frames::{decode_dump, is_recorder_dump, FrameError};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use parse::{parse_line, parse_stream, ParseError};
 pub use summary::{EdgeStats, NodeStats, TraceSummary};

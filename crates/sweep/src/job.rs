@@ -7,7 +7,7 @@ use gcs_core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
 use gcs_graph::Graph;
-use gcs_sim::{Engine, EngineEvent, EventSink, MessageStats, Protocol};
+use gcs_sim::{Engine, EngineEvent, EventSink, MessageStats, Protocol, RecorderSink};
 use gcs_time::{DriftBounds, RateSchedule};
 
 use crate::parse::{build_delay, build_rates, parse_topology, resolve_chaos, SweepDelay};
@@ -58,6 +58,9 @@ struct JobSinks {
     observer: SkewObserver,
     metrics: MetricsSink,
     watchdog: Option<InvariantWatchdog>,
+    /// The always-armed flight recorder: bounded memory per job, so even
+    /// wide sweeps keep a recent-event window for post-mortems.
+    recorder: RecorderSink,
 }
 
 impl JobSinks {
@@ -66,6 +69,7 @@ impl JobSinks {
             observer: SkewObserver::new(graph),
             metrics: MetricsSink::new(),
             watchdog: watchdog.then(|| InvariantWatchdog::new(graph, params, drift)),
+            recorder: RecorderSink::new(),
         }
     }
 }
@@ -76,6 +80,7 @@ impl EventSink for JobSinks {
     }
 
     fn record(&mut self, event: &EngineEvent) {
+        self.recorder.record(event);
         self.metrics.record(event);
         if let Some(w) = self.watchdog.as_mut() {
             w.record(event);

@@ -62,6 +62,13 @@ pub struct BeatInput {
     /// Armed protocol timers (scheduled minus fired minus cancelled) — a
     /// proxy for pending-slab occupancy.
     pub timers_armed: u64,
+    /// Messages dropped so far by the delay model itself (`lossy`-style
+    /// loss).
+    pub dropped_model: u64,
+    /// Messages dropped so far by injected chaos faults — the per-cause
+    /// split that makes chaos runs distinguishable from lossy-model runs
+    /// in `gcs top`.
+    pub dropped_faults: u64,
     /// Worst global skew observed so far, if a skew observer is attached.
     pub skew_global: Option<f64>,
     /// Worst neighbor skew observed so far, if available.
@@ -99,6 +106,10 @@ pub struct RunBeat {
     pub queue_depth: u64,
     /// Armed protocol timers at the beat.
     pub timers_armed: u64,
+    /// Model-attributed drops so far (absent in pre-split streams: 0).
+    pub dropped_model: u64,
+    /// Fault-attributed drops so far (absent in pre-split streams: 0).
+    pub dropped_faults: u64,
     /// Worst global skew so far.
     pub skew_global: Option<f64>,
     /// Worst neighbor skew so far.
@@ -262,8 +273,13 @@ impl<W: Write> HeartbeatEmitter<W> {
         );
         push_f64(&mut line, input.t);
         line.push_str(&format!(
-            ",\"events\":{},\"queue_depth\":{},\"timers_armed\":{},\"skew_global\":",
-            input.events, input.queue_depth, input.timers_armed
+            ",\"events\":{},\"queue_depth\":{},\"timers_armed\":{},\"dropped_model\":{},\
+             \"dropped_faults\":{},\"skew_global\":",
+            input.events,
+            input.queue_depth,
+            input.timers_armed,
+            input.dropped_model,
+            input.dropped_faults
         ));
         push_opt(&mut line, input.skew_global);
         line.push_str(",\"skew_local\":");
@@ -306,6 +322,8 @@ mod tests {
             events,
             queue_depth: 5,
             timers_armed: 2,
+            dropped_model: 1,
+            dropped_faults: 3,
             skew_global: Some(0.25),
             skew_local: None,
             watchdog: WatchdogStatus::Ok,
@@ -349,6 +367,7 @@ mod tests {
         assert!(a.contains("\"wall_ms\":0"));
         assert!(a.contains("\"events_per_sec\":0"));
         assert!(a.contains("\"kind\":\"summary\""));
+        assert!(a.contains("\"dropped_model\":1,\"dropped_faults\":3"));
         assert!(a.contains("\"threads\":4"));
         for line in a.lines() {
             gcs_forensics::parse_json(line).expect("every heartbeat line is valid JSON");

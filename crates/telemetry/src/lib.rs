@@ -16,9 +16,11 @@
 //! be able to tail a stream that is still being written.
 
 mod heartbeat;
+mod skewfield;
 mod top;
 
 pub use heartbeat::{
     BeatInput, HeartbeatEmitter, ParStats, RunBeat, SweepBeat, WatchdogStatus, SCHEMA,
 };
+pub use skewfield::{SkewFieldWriter, SkewSummary, SkewWindow, SCHEMA as SKEWFIELD_SCHEMA};
 pub use top::{parse_stream, render_top, Record};

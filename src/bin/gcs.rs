@@ -26,8 +26,8 @@ use std::time::Instant;
 use clock_sync::adversary::framed::LocalLowerBound;
 use clock_sync::adversary::shift::GlobalLowerBound;
 use clock_sync::analysis::{
-    diff_streams, ClockTrace, ComplexityReport, InvariantWatchdog, JsonlWriter, MetricsSink,
-    SkewObserver, Table, WatchdogTrip,
+    diff_streams, encode_event, ClockTrace, ComplexityReport, InvariantWatchdog, JsonlWriter,
+    MetricsSink, SkewObserver, Table, WatchdogTrip,
 };
 use clock_sync::bench::{diff as bench_diff, parse_artifact};
 use clock_sync::chaos::{
@@ -37,16 +37,20 @@ use clock_sync::core::{
     AOpt, AOptJump, EnvelopeAOpt, MaxAlgorithm, MidpointAlgorithm, MinGapAOpt, NoSync, Params,
 };
 use clock_sync::forensics::{
-    blame, export_chrome, parse_stream, ClockReconstruction, Dag, TraceSummary,
+    blame, decode_dump, export_chrome, is_recorder_dump, parse_stream, ClockReconstruction, Dag,
+    TraceSummary,
 };
 use clock_sync::graph::Graph;
 use clock_sync::sim::{
-    DelayModel, Engine, EngineEvent, EngineProfile, EventSink, MessageStats, Protocol,
+    DelayModel, DropCause, Engine, EngineEvent, EngineProfile, EventSink, MessageStats, Protocol,
+    RecorderSink,
 };
 use clock_sync::sweep::{
     build_delay, build_rates, parse_topology, report, run_sweep_timed, PoolProgress, SweepSpec,
 };
-use clock_sync::telemetry::{BeatInput, HeartbeatEmitter, ParStats, WatchdogStatus};
+use clock_sync::telemetry::{
+    BeatInput, HeartbeatEmitter, ParStats, SkewFieldWriter, WatchdogStatus,
+};
 use clock_sync::time::{DriftBounds, RateSchedule};
 
 const USAGE: &str = "\
@@ -116,7 +120,7 @@ USAGE:
             [--horizon H] [--delays SPEC] [--rates SPEC] [--seed N]
             [--threads K|auto] [--trace FILE.csv] [--events FILE.jsonl]
             [--metrics FILE|-] [--watchdog] [--heartbeat FILE|-]
-            [--kappa-factor F]
+            [--dump-recorder FILE] [--skew-field FILE|-] [--kappa-factor F]
 
 OPTIONS:
     --algo NAME          aopt|jump|mingap|envelope|max|midpoint|nosync
@@ -165,6 +169,24 @@ OBSERVABILITY:
     --kappa-factor F     scale κ by F, bypassing the Eq. (4) validation
                          (with F < 1 and --watchdog: demonstrates the
                          invariant violation the paper predicts)
+
+FLIGHT RECORDER (always armed):
+    Every run records its recent events into a bounded in-memory ring of
+    compact binary frames (a few MiB, zero steady-state allocation). The
+    window is dumped automatically on a watchdog trip (to
+    recorder-trip.jsonl) or an engine panic (recorder-panic.jsonl), and
+    on demand:
+    --dump-recorder FILE dump the recorder window after the run (and use
+                         FILE for trip/panic dumps too). A .jsonl path
+                         gets the standard event-log format (works with
+                         `gcs trace` and replay-check); a .gcsrec or .bin
+                         path gets raw `GCSREC01` binary frames, which
+                         `gcs trace` also reads directly
+    --skew-field FILE|-  stream windowed per-edge skew aggregates as
+                         `gcs-skewfield/v1` JSONL (`-` = stdout); render
+                         with `gcs top`. Deterministic at any --threads
+    --skew-field-every S skew-field window length in simulated time
+                         (default: horizon / 20)
 
     Every observer runs under --threads K>1: the parallel driver replays
     per-event engine state at each window barrier, so --trace, --metrics,
@@ -240,9 +262,11 @@ USAGE:
     gcs trace blame   FILE.jsonl [--global] [--end T] [--max-hops N]
     gcs trace export  FILE.jsonl --chrome [--out FILE.json]
 
-Reads a `gcs run --events` JSONL log, reconstructs every node's exact
-hardware and logical clock plus the happened-before DAG over all
-messages, and answers provenance queries offline — no re-simulation.
+Reads a `gcs run --events` JSONL log — or a binary `GCSREC01` flight-
+recorder dump (`gcs run --dump-recorder FILE.gcsrec`), detected by its
+magic bytes — reconstructs every node's exact hardware and logical clock
+plus the happened-before DAG over all messages, and answers provenance
+queries offline — no re-simulation.
 
 ACTIONS:
     summary    per-node / per-edge event, delivery, and latency statistics
@@ -365,8 +389,15 @@ violation is *expected* when an out-of-model clause (a rate outside the
 drift bounds, a clog beyond 𝒯̂, a partition, a crash) allows it; otherwise
 it is a **finding**.
 
+Every scenario runs with the flight recorder armed: when the oracle
+trips, `chaos run` dumps the recorder window (the recent causal events)
+as FILE.dump.jsonl next to the scenario — or to --dump-recorder PATH —
+and `chaos batch --fixtures DIR` attaches a finding-SEED.dump.jsonl for
+the shrunk reproducer next to each finding-SEED.chaos fixture. Dumps are
+standard event-log JSONL, consumable by `gcs trace summary|blame|export`.
+
 USAGE:
-    gcs chaos run FILE.chaos [--threads K]
+    gcs chaos run FILE.chaos [--threads K] [--dump-recorder PATH]
     gcs chaos batch [--scenarios N] [--start-seed S] [--jobs W]
                     [--threads K] [--no-shrink] [--fixtures DIR]
     gcs chaos shrink FILE.chaos [--out FILE.chaos] [--threads K]
@@ -629,11 +660,21 @@ fn cmd_bounds(opts: &Options) -> Result<(), String> {
 /// stream and a single per-event snapshot pass.
 struct RunSinks {
     observer: SkewObserver,
+    /// The always-armed flight recorder: every event is encoded into a
+    /// bounded ring of binary frames, dumped on trip/panic/request.
+    recorder: RecorderSink,
+    /// Where `--dump-recorder` wants the window written (also used for
+    /// trip and panic dumps when present).
+    dump_recorder: Option<String>,
     trace: Option<(String, ClockTrace)>,
     events: Option<(String, JsonlWriter<BufWriter<File>>)>,
     metrics: Option<(String, MetricsSink)>,
     watchdog: Option<InvariantWatchdog>,
     heartbeat: Option<Heartbeat>,
+    skew_field: Option<SkewField>,
+    /// Per-cause drop split for heartbeat `beat` records.
+    dropped_model: u64,
+    dropped_faults: u64,
     /// Sample engine state after every event. Under `--threads K>1` this is
     /// served by the parallel driver's barrier-time snapshot replay, which
     /// reconstructs the exact sequential per-event state; without any
@@ -665,6 +706,7 @@ impl Heartbeat {
         queue_depth: u64,
         observer: &SkewObserver,
         watchdog: Option<&InvariantWatchdog>,
+        dropped: (u64, u64),
     ) -> BeatInput {
         BeatInput {
             t,
@@ -674,6 +716,8 @@ impl Heartbeat {
                 .timer_sets
                 .saturating_sub(self.timer_fires)
                 .saturating_sub(self.timer_cancels),
+            dropped_model: dropped.0,
+            dropped_faults: dropped.1,
             skew_global: Some(observer.worst_global()),
             skew_local: Some(observer.worst_local()),
             watchdog: match watchdog {
@@ -685,6 +729,15 @@ impl Heartbeat {
     }
 }
 
+/// Live `--skew-field` state carried through the run by [`RunSinks`].
+struct SkewField {
+    path: String,
+    writer: SkewFieldWriter<Box<dyn Write + Send>>,
+    /// First write failure; surfaced after the run (a sink cannot return
+    /// errors mid-simulation).
+    error: Option<String>,
+}
+
 /// Opens a heartbeat sink: `-` is stdout, anything else a fresh file.
 fn heartbeat_writer(path: &str) -> Result<Box<dyn Write + Send>, String> {
     if path == "-" {
@@ -694,6 +747,32 @@ fn heartbeat_writer(path: &str) -> Result<Box<dyn Write + Send>, String> {
             File::create(path).map_err(|e| format!("cannot create heartbeat log {path}: {e}"))?;
         Ok(Box::new(BufWriter::new(file)))
     }
+}
+
+/// Writes a flight-recorder window to `path`: raw `GCSREC01` frames when
+/// the extension says binary (`.gcsrec` / `.bin`), the standard JSONL
+/// event-log format (consumable by `gcs trace` and `gcs replay-check`)
+/// otherwise. Returns the number of events in the window.
+fn write_recorder_dump(path: &str, recorder: &RecorderSink) -> Result<usize, String> {
+    let fail = |e: std::io::Error| format!("cannot write recorder dump {path}: {e}");
+    if path.ends_with(".gcsrec") || path.ends_with(".bin") {
+        std::fs::write(path, recorder.window_frames()).map_err(fail)?;
+        Ok(recorder.window_len())
+    } else {
+        let events = recorder.window_events();
+        write_events_jsonl(path, &events).map_err(fail)?;
+        Ok(events.len())
+    }
+}
+
+/// Writes events in the standard JSONL event-log format.
+fn write_events_jsonl(path: &str, events: &[EngineEvent]) -> std::io::Result<()> {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&encode_event(event));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
 }
 
 impl RunSinks {
@@ -755,13 +834,39 @@ impl RunSinks {
             }
             None => None,
         };
+        let skew_field = match opts.values.get("skew-field") {
+            Some(path) => {
+                let edges: Vec<(usize, usize)> =
+                    graph.edges().map(|(a, b)| (a.index(), b.index())).collect();
+                if edges.is_empty() {
+                    return Err("--skew-field needs a topology with at least one edge".to_string());
+                }
+                let every = opts.f64_or("skew-field-every", horizon / 20.0)?;
+                if !(every > 0.0 && every.is_finite()) {
+                    return Err(format!(
+                        "option --skew-field-every: window must be positive, got `{every}`"
+                    ));
+                }
+                Some(SkewField {
+                    path: path.clone(),
+                    writer: SkewFieldWriter::new(heartbeat_writer(path)?, edges, every, 0.0),
+                    error: None,
+                })
+            }
+            None => None,
+        };
         Ok(RunSinks {
             observer: SkewObserver::new(graph),
+            recorder: RecorderSink::new(),
+            dump_recorder: opts.values.get("dump-recorder").cloned(),
             trace,
             events,
             metrics,
             watchdog,
             heartbeat,
+            skew_field,
+            dropped_model: 0,
+            dropped_faults: 0,
             per_event,
         })
     }
@@ -769,13 +874,18 @@ impl RunSinks {
 
 impl EventSink for RunSinks {
     fn enabled(&self) -> bool {
-        self.events.is_some()
-            || self.metrics.is_some()
-            || self.watchdog.is_some()
-            || self.heartbeat.is_some()
+        // The flight recorder is always armed, so every run records.
+        true
     }
 
     fn record(&mut self, event: &EngineEvent) {
+        self.recorder.record(event);
+        if let EngineEvent::Drop { cause, .. } = event {
+            match cause {
+                DropCause::Model => self.dropped_model += 1,
+                DropCause::Fault => self.dropped_faults += 1,
+            }
+        }
         if let Some((_, w)) = self.events.as_mut() {
             w.record(event);
         }
@@ -811,6 +921,13 @@ impl EventSink for RunSinks {
         if let Some(w) = self.watchdog.as_mut() {
             w.snapshot(t, clocks, queue_depth);
         }
+        if let Some(sf) = self.skew_field.as_mut() {
+            if sf.error.is_none() {
+                if let Err(e) = sf.writer.observe(t, clocks) {
+                    sf.error = Some(format!("skew-field write failed: {e}"));
+                }
+            }
+        }
         if let Some(hb) = self.heartbeat.as_mut() {
             hb.last_queue_depth = queue_depth as u64;
             if hb.emitter.due(t) && hb.error.is_none() {
@@ -819,6 +936,7 @@ impl EventSink for RunSinks {
                     queue_depth as u64,
                     &self.observer,
                     self.watchdog.as_ref(),
+                    (self.dropped_model, self.dropped_faults),
                 );
                 if let Err(e) = hb.emitter.beat(&input) {
                     hb.error = Some(format!("heartbeat write failed: {e}"));
@@ -874,10 +992,26 @@ where
         .profiling(profiling)
         .build();
     engine.wake_all_at(0.0);
-    if threads > 1 {
-        engine.run_until_threaded(horizon, threads);
-    } else {
-        engine.run_until(horizon);
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if threads > 1 {
+            engine.run_until_threaded(horizon, threads);
+        } else {
+            engine.run_until(horizon);
+        }
+    }));
+    if let Err(payload) = run {
+        // The engine panicked mid-run: salvage the flight-recorder window
+        // before propagating, so the crash leaves a forensic artifact.
+        let sinks = engine.into_sink();
+        let path = sinks
+            .dump_recorder
+            .clone()
+            .unwrap_or_else(|| "recorder-panic.jsonl".to_string());
+        match write_recorder_dump(&path, &sinks.recorder) {
+            Ok(count) => eprintln!("panic: recorder dump written to {path} ({count} events)"),
+            Err(e) => eprintln!("panic: {e}"),
+        }
+        std::panic::resume_unwind(payload);
     }
     let stats = engine.message_stats().clone();
     let profile = engine.profile().cloned();
@@ -904,6 +1038,17 @@ where
     if let Some((_, m)) = sinks.metrics.as_mut() {
         m.flush_rate_window(horizon);
     }
+    if let Some(mut sf) = sinks.skew_field.take() {
+        if let Some(e) = sf.error.take() {
+            return Err(e);
+        }
+        sf.writer
+            .finish()
+            .map_err(|e| format!("skew-field write failed: {e}"))?;
+        if sf.path != "-" {
+            println!("skew-field log written to {}", sf.path);
+        }
+    }
     if let Some(hb) = sinks.heartbeat.as_mut() {
         // Final summary record. The parallel shares are wall-clock
         // measurements, so deterministic streams omit them (they would
@@ -913,6 +1058,7 @@ where
             hb.last_queue_depth,
             &sinks.observer,
             sinks.watchdog.as_ref(),
+            (sinks.dropped_model, sinks.dropped_faults),
         );
         let par = (!hb.deterministic).then(|| {
             let wall = profile.as_ref().map_or(0.0, |p| p.par_wall.as_secs_f64());
@@ -941,11 +1087,27 @@ where
             println!("heartbeat log written to {}", hb.path);
         }
     }
+    let trip = sinks.watchdog.as_ref().and_then(|w| w.trip().cloned());
+    // Dump the flight-recorder window when asked (--dump-recorder) or when
+    // the watchdog tripped (to the requested path, else a default next to
+    // the invocation), so every violation leaves a trace-able artifact.
+    let dump_path = match (&sinks.dump_recorder, &trip) {
+        (Some(path), _) => Some(path.clone()),
+        (None, Some(_)) => Some("recorder-trip.jsonl".to_string()),
+        (None, None) => None,
+    };
+    if let Some(path) = dump_path {
+        let count = write_recorder_dump(&path, &sinks.recorder)?;
+        println!(
+            "recorder dump written to {path} ({count} of {} recorded events)",
+            sinks.recorder.recorded()
+        );
+    }
     Ok(RunOutput {
         observer: sinks.observer,
         stats,
         metrics: sinks.metrics,
-        trip: sinks.watchdog.and_then(|w| w.trip().cloned()),
+        trip,
         profile,
         skews_are_maxima: sinks.per_event,
     })
@@ -994,7 +1156,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     // delay model with no positive delay lower bound (no lookahead), so
     // that combination fails fast instead of silently changing the
     // execution mode.
-    let needs_snapshots = ["trace", "metrics", "watchdog", "heartbeat"]
+    let needs_snapshots = ["trace", "metrics", "watchdog", "heartbeat", "skew-field"]
         .iter()
         .any(|key| opts.values.contains_key(*key));
     if threads > 1 && !delay.lookahead_at(0.0).is_some_and(|la| la.floor > 0.0) {
@@ -1037,7 +1199,7 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
             run_any(graph.clone(), $protocols, delay, schedules, sinks, exec)?
         };
     }
-    let output = match algo {
+    let mut output = match algo {
         "aopt" => dispatch!(vec![AOpt::new(params); n]),
         "jump" => dispatch!(vec![AOptJump::new(params); n]),
         "mingap" => dispatch!(vec![MinGapAOpt::new(params); n]),
@@ -1119,7 +1281,8 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
         }
     }
 
-    if let Some((path, metrics)) = &output.metrics {
+    if let Some((path, metrics)) = &mut output.metrics {
+        let path = path.as_str();
         let json = metrics.registry().to_json();
         if path == "-" {
             print!("{json}");
@@ -1401,8 +1564,16 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         );
     };
     let opts = Options::parse(rest)?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let events = parse_stream(&text).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    // Binary flight-recorder dumps (`GCSREC01` magic) decode straight to
+    // events; everything else is the JSONL event-log format.
+    let events = if is_recorder_dump(&bytes) {
+        decode_dump(&bytes).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        let text = String::from_utf8(bytes)
+            .map_err(|e| format!("{path}: stream is not UTF-8 (and not a recorder dump): {e}"))?;
+        parse_stream(&text).map_err(|e| format!("{path}: {e}"))?
+    };
     if events.is_empty() {
         return Err(format!("{path}: stream contains no events"));
     }
@@ -1599,9 +1770,22 @@ fn cmd_chaos(args: &[String]) -> Result<bool, String> {
     };
     match sub.as_str() {
         "run" => {
-            let spec = load(need_path()?)?;
+            let p = need_path()?;
+            let spec = load(p)?;
             let out = run_scenario(&spec, threads)?;
             print_chaos_outcome(&out);
+            // A tripped oracle leaves its flight-recorder window next to
+            // the scenario (or wherever --dump-recorder points): the
+            // causal events, ready for `gcs trace blame`.
+            if let Some(events) = &out.recorder_window {
+                let dump = match opts.values.get("dump-recorder") {
+                    Some(o) => o.clone(),
+                    None => format!("{}.dump.jsonl", p.strip_suffix(".chaos").unwrap_or(p)),
+                };
+                write_events_jsonl(&dump, events)
+                    .map_err(|e| format!("cannot write recorder dump {dump}: {e}"))?;
+                println!("recorder dump written to {dump} ({} events)", events.len());
+            }
             Ok(!out.unexpected())
         }
         "batch" => {
@@ -1645,6 +1829,18 @@ fn cmd_chaos(args: &[String]) -> Result<bool, String> {
                         std::fs::write(&file, spec.format())
                             .map_err(|e| format!("cannot write {file}: {e}"))?;
                         println!("finding: seed {} ({}) -> {file}", f.seed, f.kind);
+                        // Re-run the (shrunk) reproducer once to capture
+                        // its flight-recorder window — the minimal causal
+                        // event dump — next to the fixture.
+                        if let Ok(rerun) = run_scenario(spec, threads) {
+                            if let Some(events) = &rerun.recorder_window {
+                                let dump = format!("{dir}/finding-{}.dump.jsonl", f.seed);
+                                write_events_jsonl(&dump, events).map_err(|e| {
+                                    format!("cannot write recorder dump {dump}: {e}")
+                                })?;
+                                println!("recorder dump: {dump} ({} events)", events.len());
+                            }
+                        }
                         println!("repro: {}", ChaosSpec::repro_line(&file));
                     }
                     None => {

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use gcs_adversary::WavefrontDelay;
 use gcs_core::{AOpt, Params};
 use gcs_graph::{topology, NodeId};
-use gcs_sim::Engine;
+use gcs_sim::{Engine, RecorderSink};
 use gcs_sweep::build_rates;
 
 /// Counts every allocation (alloc + realloc) made by the process.
@@ -74,5 +74,38 @@ fn steady_state_window_makes_no_heap_allocations() {
     assert_eq!(
         allocated, 0,
         "engine hot path allocated {allocated} times across a 10k-event steady-state window"
+    );
+
+    // Same fixture with the flight recorder armed: recording every event
+    // into the bounded rings must also be allocation-free — the rings are
+    // preallocated at construction and slots are fixed-width (frame
+    // encoding happens only at dump time).
+    let graph = topology::path(n);
+    let delay = WavefrontDelay::new(&graph, NodeId(0), t_max, flip, boundary);
+    let schedules = build_rates("distsplit", &graph, drift, warmup_horizon, 0).unwrap();
+    let mut engine = Engine::builder(graph)
+        .protocols(vec![AOpt::new(params); n])
+        .delay_model(delay)
+        .rate_schedules(schedules)
+        .event_sink(RecorderSink::new())
+        .build();
+    engine.wake_all_at(0.0);
+    engine.run_until(warmup_horizon);
+
+    let recorded_before = engine.sink().recorded();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        engine
+            .step()
+            .expect("the wavefront fixture never drains its queue");
+    }
+    let allocated = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "flight recorder allocated {allocated} times across a 10k-event steady-state window"
+    );
+    assert!(
+        engine.sink().recorded() > recorded_before,
+        "the recorder must have been recording during the window"
     );
 }
