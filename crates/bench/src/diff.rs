@@ -14,7 +14,10 @@
 //! single-core host a `speedup/threads=8` number measures scheduler churn,
 //! nothing else. When either artifact's config says `cores`/`host_cores`
 //! is `1`, every `speedup/*` metric is skipped — which also de-fangs
-//! artifacts committed from single-core machines.
+//! artifacts committed from single-core machines. The same applies when
+//! the two artifacts disagree on `cores`/`host_cores`: a speedup curve
+//! from a 4-core box is incomparable with one from a 16-core box, so
+//! `speedup/*` rows are skipped (with a note) rather than gated.
 //!
 //! Config differences are reported as notes, never failures: the expected
 //! CI use compares a quick-mode run against a committed full-mode
@@ -113,7 +116,9 @@ pub enum Direction {
 pub fn direction(name: &str) -> Direction {
     let family = name.split('/').next().unwrap_or(name);
     match family {
-        "events_per_sec" | "speedup" | "throughput" => Direction::HigherIsBetter,
+        "events_per_sec" | "events_per_sec_per_core" | "speedup" | "throughput" => {
+            Direction::HigherIsBetter
+        }
         "wall_seconds"
         | "median_seconds"
         | "allocs_per_event"
@@ -203,11 +208,19 @@ pub fn diff(old: &BenchArtifact, new: &BenchArtifact, tolerance: f64) -> Result<
             notes.push(format!("config {k}: (absent) -> {nv:?}"));
         }
     }
-    let skip_speedup = old.single_core() || new.single_core();
-    if skip_speedup {
+    let cores_differ = old.config_value("cores") != new.config_value("cores")
+        || old.config_value("host_cores") != new.config_value("host_cores");
+    let skip_speedup = old.single_core() || new.single_core() || cores_differ;
+    if old.single_core() || new.single_core() {
         notes.push(
             "single-core artifact: speedup/* metrics skipped (they measure \
              scheduler churn, not scaling)"
+                .to_string(),
+        );
+    } else if cores_differ {
+        notes.push(
+            "artifacts disagree on cores: speedup/* metrics skipped \
+             (incomparable machine classes)"
                 .to_string(),
         );
     }
@@ -431,6 +444,29 @@ mod tests {
         assert_eq!(d.rows[1].status, Status::Regressed);
         assert_eq!(d.regressions(), 1);
         assert!(d.notes.iter().any(|n| n.contains("speedup")));
+    }
+
+    #[test]
+    fn differing_core_counts_skip_speedups_only() {
+        let old = artifact(
+            "4",
+            &[
+                ("speedup/n=64/threads=4", 1.5),
+                ("events_per_sec/n=64", 1e6),
+            ],
+        );
+        let new = artifact(
+            "16",
+            &[
+                ("speedup/n=64/threads=4", 0.2), // incomparable, not gated
+                ("events_per_sec/n=64", 0.1e6),  // genuine regression
+            ],
+        );
+        let d = diff(&old, &new, 0.25).unwrap();
+        assert_eq!(d.rows[0].status, Status::Skipped);
+        assert_eq!(d.rows[1].status, Status::Regressed);
+        assert_eq!(d.regressions(), 1);
+        assert!(d.notes.iter().any(|n| n.contains("disagree on cores")));
     }
 
     #[test]

@@ -36,6 +36,9 @@ use gcs_time::LogicalClock;
 use crate::rate_rule::clamped_increase;
 use crate::Params;
 
+/// Sentinel for "no tracked entry" in the incremental Λ fold caches.
+const NO_ENTRY: u32 = u32::MAX;
+
 /// The synchronization message `⟨L_v, L_v^max⟩`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AOptMsg {
@@ -92,6 +95,15 @@ pub struct AOpt {
     /// small, so this beats hashing on the engine's per-message hot path
     /// (and the skew folds over it are order-insensitive `max`es).
     estimates: Vec<(NodeId, NeighborEstimate)>,
+    /// Index into `estimates` of the entry with the **largest** fold key
+    /// (see [`AOpt::fold_key`]) — the argmax behind `Λ↑`. Incrementally
+    /// maintained: entries only mutate in `on_message`, and between
+    /// messages every estimate advances by the same hardware offset, so
+    /// the cached argmax stays the argmax and yields a `Λ↑` bit-identical
+    /// to the linear fold. [`NO_ENTRY`] until a neighbour is heard from.
+    arg_hi: u32,
+    /// Argmin twin of `arg_hi` (the entry behind `Λ↓`).
+    arg_lo: u32,
     /// `H_v^R` while the fast mode is armed (diagnostics only; the timer is
     /// authoritative).
     h_r: Option<f64>,
@@ -121,6 +133,8 @@ impl AOpt {
             lmax_offset: None,
             next_multiple: 1,
             estimates: Vec::new(),
+            arg_hi: NO_ENTRY,
+            arg_lo: NO_ENTRY,
             h_r: None,
             sends: 0,
             jump_mode: false,
@@ -188,6 +202,72 @@ impl AOpt {
         }
     }
 
+    /// The key the incremental Λ trackers order entries by: `offset`, or
+    /// the raw `ℓ_v^w` under [`AOpt::with_frozen_estimates`]. At any
+    /// hardware reading the estimate value is `hw + offset` (resp. `ell`
+    /// itself) — a weakly monotone function of this key — so the entry
+    /// with the largest (smallest) key realizes the maximal (minimal)
+    /// estimate, and `Λ↑`/`Λ↓` computed from the winners are **bit-for-bit**
+    /// the linear fold's values: the winning entry's contribution is the
+    /// exact expression the fold would have evaluated for it.
+    fn fold_key(&self, e: &NeighborEstimate) -> f64 {
+        if self.freeze_estimates {
+            e.ell
+        } else {
+            e.offset
+        }
+    }
+
+    /// Re-points the Λ tracker caches after `estimates[i]` moved away from
+    /// `old_key`. O(1) except when the updated entry owned a cache and
+    /// moved *against* it (its decrease-path), which rescans the neighbour
+    /// table — rare in steady state, making a wake O(1) amortized instead
+    /// of the old per-wake O(deg) fold.
+    fn note_estimate_update(&mut self, i: usize, old_key: f64) {
+        let new_key = self.fold_key(&self.estimates[i].1);
+        let i = i as u32;
+        if self.arg_hi == NO_ENTRY {
+            self.arg_hi = i;
+            self.arg_lo = i;
+            return;
+        }
+        if i == self.arg_hi {
+            if new_key < old_key {
+                self.rescan_trackers();
+                return;
+            }
+        } else if new_key > self.fold_key(&self.estimates[self.arg_hi as usize].1) {
+            self.arg_hi = i;
+        }
+        if i == self.arg_lo {
+            if new_key > old_key {
+                self.rescan_trackers();
+            }
+        } else if new_key < self.fold_key(&self.estimates[self.arg_lo as usize].1) {
+            self.arg_lo = i;
+        }
+    }
+
+    /// Full O(deg) rescan of both trackers (the owning entry's
+    /// decrease-path fallback).
+    fn rescan_trackers(&mut self) {
+        let (mut hi, mut lo) = (0u32, 0u32);
+        let (mut hi_key, mut lo_key) = (f64::NEG_INFINITY, f64::INFINITY);
+        for (idx, (_, e)) in self.estimates.iter().enumerate() {
+            let k = self.fold_key(e);
+            if k > hi_key {
+                hi_key = k;
+                hi = idx as u32;
+            }
+            if k < lo_key {
+                lo_key = k;
+                lo = idx as u32;
+            }
+        }
+        self.arg_hi = hi;
+        self.arg_lo = lo;
+    }
+
     /// `Λ↑ = max_w (L_v^w − L_v)` over heard-from neighbours; `None` if none.
     pub fn lambda_up(&self, hw: f64) -> Option<f64> {
         let l = self.logical.value_at_hw(hw);
@@ -204,6 +284,51 @@ impl AOpt {
             .iter()
             .map(|(_, e)| l - self.estimate_value(e, hw))
             .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+
+    /// `(Λ↑, Λ↓)` in O(1) from the incremental trackers — the hot-path
+    /// counterpart of [`AOpt::lambda_up`]/[`AOpt::lambda_down`], which
+    /// retain the linear scan and serve as the oracle the trackers are
+    /// property-tested against. `None` before any neighbour is heard from.
+    pub fn lambda_pair(&self, hw: f64) -> Option<(f64, f64)> {
+        if self.estimates.is_empty() {
+            return None;
+        }
+        let l = self.logical.value_at_hw(hw);
+        let hi = self.estimates[self.arg_hi as usize].1;
+        let lo = self.estimates[self.arg_lo as usize].1;
+        Some((
+            self.estimate_value(&hi, hw) - l,
+            l - self.estimate_value(&lo, hw),
+        ))
+    }
+
+    /// Algorithm 2, lines 5–7: adopt a larger (hence more recent) clock
+    /// value of `from` received when this node's hardware clock read `hw`,
+    /// and re-point the incremental Λ trackers. Factored out of
+    /// [`Protocol::on_message`] so tracker property tests can drive
+    /// randomized estimate-update/wake sequences without an engine.
+    pub fn record_estimate(&mut self, from: NodeId, logical: f64, hw: f64) {
+        let idx = match self.estimates.iter().position(|&(v, _)| v == from) {
+            Some(i) => i,
+            None => {
+                self.estimates.push((
+                    from,
+                    NeighborEstimate {
+                        offset: f64::NEG_INFINITY,
+                        ell: f64::NEG_INFINITY,
+                    },
+                ));
+                self.estimates.len() - 1
+            }
+        };
+        let old_key = self.fold_key(&self.estimates[idx].1);
+        let entry = &mut self.estimates[idx].1;
+        if logical > entry.ell {
+            entry.ell = logical;
+            entry.offset = logical - hw;
+            self.note_estimate_update(idx, old_key);
+        }
     }
 
     fn broadcast(&mut self, ctx: &mut Context<'_, AOptMsg>, lmax: f64) {
@@ -229,22 +354,21 @@ impl AOpt {
     fn set_clock_rate(&mut self, ctx: &mut Context<'_, AOptMsg>) {
         let hw = ctx.hw();
         let l = self.logical.value_at_hw(hw);
-        // Λ↑ and Λ↓ in one pass over the estimate table (this runs on
-        // every delivery; the arithmetic is exactly `lambda_up` /
-        // `lambda_down`). No neighbour heard from yet means no skew
-        // information: stay nominal (but the κ-tolerance toward L_v^max
-        // still applies below via Λ↓ = 0, Λ↑ = 0 — the paper's line 2
-        // uses max{κ − Λ↓, ·}).
-        let (lambda_up, lambda_down) = if self.estimates.is_empty() {
-            (0.0, 0.0)
-        } else {
-            let (mut up, mut down) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
-            for (_, e) in &self.estimates {
-                let est = self.estimate_value(e, hw);
-                up = up.max(est - l);
-                down = down.max(l - est);
+        // Λ↑ and Λ↓ from the incrementally tracked arg-extremes instead of
+        // a per-wake O(deg) fold (this runs on every delivery). The
+        // arithmetic on the winning entries is exactly `lambda_up` /
+        // `lambda_down`'s — see `fold_key` for why the values are
+        // bit-identical; the linear folds stay as the oracle. No neighbour
+        // heard from yet means no skew information: stay nominal (but the
+        // κ-tolerance toward L_v^max still applies below via Λ↓ = 0,
+        // Λ↑ = 0 — the paper's line 2 uses max{κ − Λ↓, ·}).
+        let (lambda_up, lambda_down) = match self.lambda_pair(hw) {
+            Some((up, down)) => {
+                debug_assert_eq!(Some(up), self.lambda_up(hw));
+                debug_assert_eq!(Some(down), self.lambda_down(hw));
+                (up, down)
             }
-            (up, down)
+            None => (0.0, 0.0),
         };
         let headroom = self.lmax_value(hw) - l;
         let r = clamped_increase(lambda_up, lambda_down, self.params.kappa(), headroom);
@@ -295,23 +419,7 @@ impl Protocol for AOpt {
             self.schedule_send(ctx);
         }
         // Lines 5–7: adopt a larger (hence more recent) clock value of `w`.
-        let entry = match self.estimates.iter().position(|&(v, _)| v == from) {
-            Some(i) => &mut self.estimates[i].1,
-            None => {
-                self.estimates.push((
-                    from,
-                    NeighborEstimate {
-                        offset: f64::NEG_INFINITY,
-                        ell: f64::NEG_INFINITY,
-                    },
-                ));
-                &mut self.estimates.last_mut().expect("just pushed").1
-            }
-        };
-        if msg.logical > entry.ell {
-            entry.ell = msg.logical;
-            entry.offset = msg.logical - hw;
-        }
+        self.record_estimate(from, msg.logical, hw);
         // Lines 8–10: recompute skews and adjust the clock rate.
         self.set_clock_rate(ctx);
     }

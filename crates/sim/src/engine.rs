@@ -75,24 +75,68 @@ impl<M> EventKind<M> {
     }
 }
 
+/// Hot per-node plane: what every dispatched event touches — the hardware
+/// clock and the sink's multiplier-change detector — packed contiguously
+/// so a wake reads one cache line of per-node engine state (plus the
+/// node's entry in the protocol and pending planes).
 #[derive(Debug, Clone)]
-pub(crate) struct NodeState<P: Protocol> {
-    pub(crate) proto: P,
+pub(crate) struct HotNode {
     pub(crate) hw: HardwareClock,
+    /// The protocol's logical rate multiplier after its last handler ran
+    /// (for change detection when a sink is installed).
+    last_multiplier: f64,
+}
+
+/// Cold per-node plane: rate-schedule and arming-path state that typical
+/// wakes never read, kept off the hot cache lines.
+#[derive(Debug, Clone)]
+struct ColdNode<M> {
     schedule: RateSchedule,
-    /// Pending hardware-value items (slab-backed, allocation-free in
-    /// steady state).
-    pending: PendingSlab<P::Msg>,
     /// Timer slot -> slab slot, for replacement semantics. Protocols use a
     /// handful of timer slots at most, so a linear scan beats hashing.
     timer_slots: Vec<(TimerId, u32)>,
     /// Hardware-targeted deliveries addressed to this node before it was
     /// initialized; activated at start time.
-    prestart: Vec<PendingHw<P::Msg>>,
-    /// The protocol's logical rate multiplier after its last handler ran
-    /// (for change detection when a sink is installed).
-    last_multiplier: f64,
+    prestart: Vec<PendingHw<M>>,
 }
+
+/// Struct-of-arrays node state: parallel planes indexed by node id. The
+/// split keeps each plane's per-node entries adjacent, so an event that
+/// reads node `v`'s clock, protocol, and pending slab touches three short
+/// runs of contiguous memory instead of one sparse ~300-byte record.
+#[derive(Debug, Clone)]
+pub(crate) struct Nodes<P: Protocol> {
+    pub(crate) hot: Vec<HotNode>,
+    pub(crate) proto: Vec<P>,
+    /// Pending hardware-value items per node (slab-backed,
+    /// allocation-free in steady state).
+    pub(crate) pending: Vec<PendingSlab<P::Msg>>,
+    cold: Vec<ColdNode<P::Msg>>,
+}
+
+impl<P: Protocol> Nodes<P> {
+    pub(crate) fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Swaps node `i`'s state across engines — the parallel driver's merge,
+    /// which reabsorbs owned nodes from partition replicas plane by plane.
+    pub(crate) fn swap_entry(&mut self, other: &mut Self, i: usize) {
+        std::mem::swap(&mut self.hot[i], &mut other.hot[i]);
+        std::mem::swap(&mut self.proto[i], &mut other.proto[i]);
+        std::mem::swap(&mut self.pending[i], &mut other.pending[i]);
+        std::mem::swap(&mut self.cold[i], &mut other.cold[i]);
+    }
+}
+
+/// Per-node pending-slab slots pre-reserved at build time: `A^opt` keeps
+/// 2–3 items concurrently pending (send timer, rate timer, the occasional
+/// hardware-targeted delivery), so 4 covers the steady state without
+/// mid-run slab growth even at n = 10⁶.
+const PENDING_PREALLOC: usize = 4;
+
+/// Pre-reserved timer-slot index entries per node (same sizing argument).
+const TIMER_SLOT_PREALLOC: usize = 4;
 
 /// Builder for [`Engine`].
 ///
@@ -166,22 +210,36 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
             .unwrap_or_else(|| vec![RateSchedule::default(); n]);
         assert_eq!(schedules.len(), n, "need one rate schedule per node");
         let delay = self.delay.expect("delay model not set");
-        let nodes = protocols
-            .into_iter()
-            .zip(schedules)
-            .map(|(proto, schedule)| {
-                let last_multiplier = proto.rate_multiplier();
-                NodeState {
-                    proto,
-                    hw: HardwareClock::new(),
-                    schedule,
-                    pending: PendingSlab::new(),
-                    timer_slots: Vec::new(),
-                    prestart: Vec::new(),
-                    last_multiplier,
-                }
-            })
-            .collect();
+        // Every plane (and each node's slab/timer index) is pre-reserved
+        // here so a steady-state run never grows node storage mid-run —
+        // `tests/zero_alloc.rs` pins this at both small and large n.
+        let mut hot = Vec::with_capacity(n);
+        let mut proto_plane = Vec::with_capacity(n);
+        let mut pending = Vec::with_capacity(n);
+        let mut cold = Vec::with_capacity(n);
+        for (proto, schedule) in protocols.into_iter().zip(schedules) {
+            hot.push(HotNode {
+                hw: HardwareClock::new(),
+                last_multiplier: proto.rate_multiplier(),
+            });
+            pending.push(PendingSlab::with_capacity(PENDING_PREALLOC));
+            cold.push(ColdNode {
+                schedule,
+                timer_slots: Vec::with_capacity(TIMER_SLOT_PREALLOC),
+                prestart: Vec::new(),
+            });
+            proto_plane.push(proto);
+        }
+        let nodes = Nodes {
+            hot,
+            proto: proto_plane,
+            pending,
+            cold,
+        };
+        // A strictly positive static delay floor turns on the queue's
+        // calendar layer (`w`-wide buckets); otherwise the queue is the
+        // plain 4-ary heap. Same pop order either way (see `queue.rs`).
+        let floor = delay.min_delay();
         Engine {
             graph: self.graph,
             delay,
@@ -190,7 +248,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> EngineBuilder<P, D, S> {
             // Pre-sized so the heap reaches its steady-state high-water
             // mark without reallocating mid-run for typical workloads; it
             // grows (and is then reused) beyond that.
-            queue: EventQueue::with_capacity(4 * n + 16),
+            queue: EventQueue::with_capacity_and_floor(4 * n + 16, floor),
             nodes,
             stats: MessageStats {
                 per_node_sends: vec![0; n],
@@ -226,7 +284,7 @@ pub struct Engine<P: Protocol, D: DelayModel, S: EventSink = NullSink> {
     pub(crate) now: f64,
     pub(crate) seq: u64,
     pub(crate) queue: EventQueue<EventKind<P::Msg>>,
-    pub(crate) nodes: Vec<NodeState<P>>,
+    pub(crate) nodes: Nodes<P>,
     pub(crate) stats: MessageStats,
     pub(crate) sink: S,
     /// Scratch buffer for per-event logical-clock snapshots.
@@ -276,7 +334,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
 
     /// Immutable access to a node's protocol state.
     pub fn protocol(&self, v: NodeId) -> &P {
-        &self.nodes[v.index()].proto
+        &self.nodes.proto[v.index()]
     }
 
     /// Mutable access to the delay model (e.g. to reconfigure an adversary
@@ -308,7 +366,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
 
     /// The hardware-clock reading `H_v(now)`.
     pub fn hardware_value(&self, v: NodeId) -> f64 {
-        self.nodes[v.index()].hw.value_at(self.now)
+        self.nodes.hot[v.index()].hw.value_at(self.now)
     }
 
     /// The current hardware rate of `v`.
@@ -317,13 +375,13 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     ///
     /// Panics if `v` is not yet initialized.
     pub fn hardware_rate(&self, v: NodeId) -> f64 {
-        self.nodes[v.index()].hw.rate()
+        self.nodes.hot[v.index()].hw.rate()
     }
 
     /// The logical-clock reading `L_v(now)`.
     pub fn logical_value(&self, v: NodeId) -> f64 {
         let hw = self.hardware_value(v);
-        self.nodes[v.index()].proto.logical_value(hw)
+        self.nodes.proto[v.index()].logical_value(hw)
     }
 
     /// All logical-clock readings, indexed by node.
@@ -333,7 +391,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
 
     /// Whether node `v` has been initialized.
     pub fn is_started(&self, v: NodeId) -> bool {
-        self.nodes[v.index()].hw.is_started()
+        self.nodes.hot[v.index()].hw.is_started()
     }
 
     /// Schedules a spontaneous wake of `v` at time `t ≥ now`. Waking an
@@ -365,8 +423,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     /// Panics if `v` is not initialized or `rate <= 0`.
     pub fn set_hardware_rate(&mut self, v: NodeId, rate: f64) {
         let now = self.now;
-        let node = &mut self.nodes[v.index()];
-        node.hw.set_rate(now, rate);
+        self.nodes.hot[v.index()].hw.set_rate(now, rate);
         if self.sink.enabled() {
             self.sink.record(&EngineEvent::RateStep {
                 node: v,
@@ -380,6 +437,11 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     /// Time of the next queued event, if any.
     pub fn next_event_time(&self) -> Option<f64> {
         self.queue.peek_time()
+    }
+
+    /// Number of events currently queued (live and superseded entries).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Processes the single next event (regardless of horizon); returns its
@@ -449,8 +511,10 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         let now = self.now;
         buf.extend(
             self.nodes
+                .proto
                 .iter()
-                .map(|n| n.proto.logical_value(n.hw.value_at(now))),
+                .zip(&self.nodes.hot)
+                .map(|(p, h)| p.logical_value(h.hw.value_at(now))),
         );
         self.sink.snapshot(now, &buf, self.queue.len());
         self.clock_buf = buf;
@@ -466,9 +530,9 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         if !self.sink.enabled() {
             return;
         }
-        let multiplier = self.nodes[v.index()].proto.rate_multiplier();
-        if multiplier != self.nodes[v.index()].last_multiplier {
-            self.nodes[v.index()].last_multiplier = multiplier;
+        let multiplier = self.nodes.proto[v.index()].rate_multiplier();
+        if multiplier != self.nodes.hot[v.index()].last_multiplier {
+            self.nodes.hot[v.index()].last_multiplier = multiplier;
             self.sink.record(&EngineEvent::MultiplierChange {
                 node: v,
                 t: self.now,
@@ -494,7 +558,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     }
 
     fn handle_wake(&mut self, v: NodeId) {
-        if self.nodes[v.index()].hw.is_started() {
+        if self.nodes.hot[v.index()].hw.is_started() {
             return;
         }
         self.start_node(v);
@@ -510,7 +574,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         let mut actions = std::mem::take(&mut self.action_buf);
         {
             let mut ctx = Context::new(v, hw, self.graph.neighbors(v), &mut actions);
-            self.nodes[v.index()].proto.on_start(&mut ctx);
+            self.nodes.proto[v.index()].on_start(&mut ctx);
         }
         self.note_protocol(started);
         self.apply_actions(v, &mut actions);
@@ -528,11 +592,13 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
 
     fn start_node(&mut self, v: NodeId) {
         let now = self.now;
-        let node = &mut self.nodes[v.index()];
-        let rate = node.schedule.rate_at(now);
-        node.hw.start(now, rate);
-        let prestart = std::mem::take(&mut node.prestart);
-        if let Some(change) = node.schedule.next_change_after(now) {
+        let i = v.index();
+        let cold = &mut self.nodes.cold[i];
+        let rate = cold.schedule.rate_at(now);
+        let change = cold.schedule.next_change_after(now);
+        let prestart = std::mem::take(&mut cold.prestart);
+        self.nodes.hot[i].hw.start(now, rate);
+        if let Some(change) = change {
             self.push(
                 change,
                 EventKind::RateStep {
@@ -543,18 +609,18 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         }
         for item in prestart {
             let target = item.target();
-            let (slot, gen) = self.nodes[v.index()].pending.insert(item);
+            let (slot, gen) = self.nodes.pending[i].insert(item);
             self.schedule_hw_due(v, slot, gen, target);
         }
     }
 
     fn handle_rate_step(&mut self, v: NodeId, at: f64) {
-        let node = &mut self.nodes[v.index()];
-        if !node.hw.is_started() {
+        let i = v.index();
+        if !self.nodes.hot[i].hw.is_started() {
             return;
         }
-        let rate = node.schedule.rate_at(at);
-        node.hw.set_rate(self.now, rate);
+        let rate = self.nodes.cold[i].schedule.rate_at(at);
+        self.nodes.hot[i].hw.set_rate(self.now, rate);
         if self.sink.enabled() {
             self.sink.record(&EngineEvent::RateStep {
                 node: v,
@@ -562,7 +628,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 rate,
             });
         }
-        if let Some(change) = node.schedule.next_change_after(at) {
+        if let Some(change) = self.nodes.cold[i].schedule.next_change_after(at) {
             self.push(
                 change,
                 EventKind::RateStep {
@@ -577,7 +643,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     fn handle_deliver(&mut self, src: NodeId, dst: NodeId, msg: P::Msg) {
         self.stats.deliveries += 1;
         self.stats.per_node_deliveries[dst.index()] += 1;
-        let fresh = !self.nodes[dst.index()].hw.is_started();
+        let fresh = !self.nodes.hot[dst.index()].hw.is_started();
         if fresh {
             self.start_node(dst);
         }
@@ -601,7 +667,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         let mut actions = std::mem::take(&mut self.action_buf);
         {
             let mut ctx = Context::new(dst, hw, self.graph.neighbors(dst), &mut actions);
-            let proto = &mut self.nodes[dst.index()].proto;
+            let proto = &mut self.nodes.proto[dst.index()];
             if fresh {
                 proto.on_start(&mut ctx);
             }
@@ -619,24 +685,24 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         // slowdown pushed it later; the re-stamped entry exists at the
         // correct later time, so this one is skipped on an arithmetic
         // check — no hash lookups either way).
-        let node = &self.nodes[v.index()];
-        let due = match node.pending.target_of(slot, gen) {
+        let i = v.index();
+        let due = match self.nodes.pending[i].target_of(slot, gen) {
             None => {
                 self.note_stale();
                 return;
             }
-            Some(target) => node.hw.value_at(self.now) >= target - 1e-9,
+            Some(target) => self.nodes.hot[i].hw.value_at(self.now) >= target - 1e-9,
         };
         if !due {
             self.note_stale();
             return;
         }
-        let item = self.nodes[v.index()].pending.take(slot);
+        let item = self.nodes.pending[i].take(slot);
         match item {
             PendingHw::Timer { timer, .. } => {
-                let node = &mut self.nodes[v.index()];
-                if let Some(pos) = node.timer_slots.iter().position(|&(t, _)| t == timer) {
-                    node.timer_slots.swap_remove(pos);
+                let slots = &mut self.nodes.cold[i].timer_slots;
+                if let Some(pos) = slots.iter().position(|&(t, _)| t == timer) {
+                    slots.swap_remove(pos);
                 }
                 let hw = self.hardware_value(v);
                 if self.sink.enabled() {
@@ -651,7 +717,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 let mut actions = std::mem::take(&mut self.action_buf);
                 {
                     let mut ctx = Context::new(v, hw, self.graph.neighbors(v), &mut actions);
-                    self.nodes[v.index()].proto.on_timer(&mut ctx, timer);
+                    self.nodes.proto[v.index()].on_timer(&mut ctx, timer);
                 }
                 self.note_protocol(started);
                 self.apply_actions(v, &mut actions);
@@ -720,10 +786,11 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                     self.set_timer(v, timer, target_hw);
                 }
                 Action::CancelTimer { timer } => {
-                    let node = &mut self.nodes[v.index()];
-                    if let Some(pos) = node.timer_slots.iter().position(|&(t, _)| t == timer) {
-                        let (_, slot) = node.timer_slots.swap_remove(pos);
-                        node.pending.take(slot);
+                    let i = v.index();
+                    let slots = &mut self.nodes.cold[i].timer_slots;
+                    if let Some(pos) = slots.iter().position(|&(t, _)| t == timer) {
+                        let (_, slot) = slots.swap_remove(pos);
+                        self.nodes.pending[i].take(slot);
                         if self.sink.enabled() {
                             self.sink.record(&EngineEvent::TimerCancel {
                                 node: v,
@@ -744,10 +811,17 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         // window barrier) and must not read the receiver's clock replica
         // (the owner may have advanced it). `remote` is `None` on every
         // user-built engine, so this is one predictable branch.
-        let remote_dst = match self.remote.as_deref() {
-            Some(r) => r.owner[dst.index()] != r.part,
-            None => false,
+        // `Some(d)` names the destination partition's outbox shard; the
+        // owner lookup here is the only one a cross-partition send ever
+        // does — the barrier routes whole shards.
+        let remote_shard = match self.remote.as_deref() {
+            Some(r) => {
+                let d = r.owner[dst.index()];
+                (d != r.part).then_some(d as usize)
+            }
+            None => None,
         };
+        let remote_dst = remote_shard.is_some();
         // Hardware readings are resolved lazily inside `DelayCtx`: delay
         // models that never consult them cost zero clock evaluations here.
         let ctx = if remote_dst {
@@ -755,7 +829,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 src,
                 dst,
                 self.now,
-                &self.nodes[src.index()].hw,
+                &self.nodes.hot[src.index()].hw,
                 &self.graph,
             )
         } else {
@@ -763,8 +837,8 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                 src,
                 dst,
                 self.now,
-                &self.nodes[src.index()].hw,
-                &self.nodes[dst.index()].hw,
+                &self.nodes.hot[src.index()].hw,
+                &self.nodes.hot[dst.index()].hw,
                 &self.graph,
             )
         };
@@ -815,12 +889,12 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                         });
                     }
                     let time = self.now + d;
-                    if remote_dst {
+                    if let Some(shard) = remote_shard {
                         assert!(time.is_finite(), "non-finite event time");
                         let seq = self.seq;
                         self.seq += 1;
                         let r = self.remote.as_deref_mut().expect("remote_dst implies Some");
-                        r.outbox.push(crate::parallel::Outgoing {
+                        r.outbox[shard].push(crate::parallel::Outgoing {
                             time,
                             seq,
                             src,
@@ -853,12 +927,12 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                     });
                 }
                 let time = self.now + d;
-                if remote_dst {
+                if let Some(shard) = remote_shard {
                     assert!(time.is_finite(), "non-finite event time");
                     let seq = self.seq;
                     self.seq += 1;
                     let r = self.remote.as_deref_mut().expect("remote_dst implies Some");
-                    r.outbox.push(crate::parallel::Outgoing {
+                    r.outbox[shard].push(crate::parallel::Outgoing {
                         time,
                         seq,
                         src,
@@ -885,12 +959,12 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
                     });
                 }
                 let item = PendingHw::Delivery { src, msg, target };
-                if self.nodes[dst.index()].hw.is_started() {
-                    let (slot, gen) = self.nodes[dst.index()].pending.insert(item);
+                if self.nodes.hot[dst.index()].hw.is_started() {
+                    let (slot, gen) = self.nodes.pending[dst.index()].insert(item);
                     self.schedule_hw_due(dst, slot, gen, target);
                 } else {
                     // The receiver has no clock yet; activate at its start.
-                    self.nodes[dst.index()].prestart.push(item);
+                    self.nodes.cold[dst.index()].prestart.push(item);
                 }
             }
         }
@@ -899,13 +973,14 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     fn set_timer(&mut self, v: NodeId, timer: TimerId, target: f64) {
         assert!(target.is_finite(), "non-finite timer target");
         // Replace any previous target in this slot.
-        let node = &mut self.nodes[v.index()];
-        if let Some(pos) = node.timer_slots.iter().position(|&(t, _)| t == timer) {
-            let (_, old) = node.timer_slots.swap_remove(pos);
-            node.pending.take(old);
+        let i = v.index();
+        let slots = &mut self.nodes.cold[i].timer_slots;
+        if let Some(pos) = slots.iter().position(|&(t, _)| t == timer) {
+            let (_, old) = slots.swap_remove(pos);
+            self.nodes.pending[i].take(old);
         }
-        let (slot, gen) = node.pending.insert(PendingHw::Timer { timer, target });
-        node.timer_slots.push((timer, slot));
+        let (slot, gen) = self.nodes.pending[i].insert(PendingHw::Timer { timer, target });
+        self.nodes.cold[i].timer_slots.push((timer, slot));
         if self.sink.enabled() {
             self.sink.record(&EngineEvent::TimerSet {
                 node: v,
@@ -918,7 +993,7 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
     }
 
     fn schedule_hw_due(&mut self, v: NodeId, slot: u32, gen: u64, target: f64) {
-        let t = self.nodes[v.index()]
+        let t = self.nodes.hot[v.index()]
             .hw
             .time_when(target)
             .expect("node is started")
@@ -934,9 +1009,9 @@ impl<P: Protocol, D: DelayModel, S: EventSink> Engine<P, D, S> {
         // Re-stamped entries keep their generation: the superseded entry is
         // recognised as stale by the arithmetic due-check on pop, exactly as
         // before.
-        let mut cursor = self.nodes[v.index()].pending.first();
+        let mut cursor = self.nodes.pending[v.index()].first();
         while let Some(slot) = cursor {
-            let (gen, target, next) = self.nodes[v.index()].pending.cursor(slot);
+            let (gen, target, next) = self.nodes.pending[v.index()].cursor(slot);
             self.schedule_hw_due(v, slot, gen, target);
             cursor = next;
         }

@@ -98,8 +98,12 @@ pub(crate) struct RemoteCtx<P: Protocol> {
     pub(crate) part: u32,
     /// Node → owning partition, shared by all replicas.
     pub(crate) owner: Arc<Vec<u32>>,
-    /// Cross-partition sends of the current window.
-    pub(crate) outbox: Vec<Outgoing<P::Msg>>,
+    /// Cross-partition sends of the current window, sharded by destination
+    /// partition (`outbox[d]` holds sends to partition `d`; the own-partition
+    /// shard stays empty). `transmit` already resolves the owner to decide a
+    /// send is remote, so the shard append reuses that lookup, and the
+    /// barrier routes whole shards without re-resolving per message.
+    pub(crate) outbox: Vec<Vec<Outgoing<P::Msg>>>,
     /// Pop log of the current window.
     records: Vec<PopRecord>,
     /// Whether to log every pop with its [`PopState`] (snapshot mode).
@@ -174,7 +178,10 @@ struct ReplayState<P: Protocol> {
     records: Vec<Vec<PopRecord>>,
     events: Vec<Vec<EngineEvent>>,
     states: Vec<Vec<PopState<P>>>,
-    outboxes: Vec<Vec<Outgoing<P::Msg>>>,
+    /// Per-partition sharded outbox scratch, mirroring
+    /// [`RemoteCtx::outbox`]: `outboxes[p][d]` holds partition `p`'s sends
+    /// to partition `d`.
+    outboxes: Vec<Vec<Vec<Outgoing<P::Msg>>>>,
 }
 
 /// Seq not yet assigned in a replay map.
@@ -192,7 +199,9 @@ impl<P: Protocol> ReplayState<P> {
             records: vec![Vec::new(); k],
             events: vec![Vec::new(); k],
             states: (0..k).map(|_| Vec::new()).collect(),
-            outboxes: (0..k).map(|_| Vec::new()).collect(),
+            outboxes: (0..k)
+                .map(|_| (0..k).map(|_| Vec::new()).collect())
+                .collect(),
         }
     }
 }
@@ -297,8 +306,8 @@ where
             return self.now;
         }
         let mut snap = self.sink.wants_snapshots().then(|| SnapReplay {
-            hw: self.nodes.iter().map(|n| n.hw.clone()).collect(),
-            protos: self.nodes.iter().map(|n| n.proto.clone()).collect(),
+            hw: self.nodes.hot.iter().map(|n| n.hw.clone()).collect(),
+            protos: self.nodes.proto.clone(),
             clock_buf: Vec::with_capacity(self.nodes.len()),
             depth: self.queue.len(),
             now: self.now,
@@ -395,13 +404,7 @@ where
                         .iter()
                         .map(|m| m.lock().expect("partition lock"))
                         .collect();
-                    replay_window(
-                        &mut replay,
-                        &mut guards,
-                        &owner,
-                        &mut self.sink,
-                        snap.as_mut(),
-                    );
+                    replay_window(&mut replay, &mut guards, &mut self.sink, snap.as_mut());
                     for g in &guards {
                         idle_dur += window_wall.saturating_sub(g.remote_ref().run_dur);
                     }
@@ -514,7 +517,7 @@ where
                 delay: self.delay.clone(),
                 now: self.now,
                 seq: PROV_BASE,
-                queue: EventQueue::with_capacity(4 * n / k + 16),
+                queue: EventQueue::with_capacity_and_floor(4 * n / k + 16, self.delay.min_delay()),
                 // Full-length replica: only owned entries are ever touched
                 // (events route by owner), and `merge` swaps them back. This
                 // wastes clone work on unowned entries but keeps every
@@ -536,7 +539,7 @@ where
                 remote: Some(Box::new(RemoteCtx {
                     part: p as u32,
                     owner: Arc::clone(owner),
-                    outbox: Vec::new(),
+                    outbox: vec![Vec::new(); k],
                     records: Vec::new(),
                     log_state: self.sink.wants_snapshots(),
                     states: Vec::new(),
@@ -566,11 +569,14 @@ where
         self.seq = next_seq;
         for (p, mut part) in parts.into_iter().enumerate() {
             let remote = part.remote.as_deref().expect("partition replica");
-            debug_assert!(remote.outbox.is_empty(), "unrouted outbox at merge");
+            debug_assert!(
+                remote.outbox.iter().all(Vec::is_empty),
+                "unrouted outbox at merge"
+            );
             let pops = remote.pops;
-            for ((mine, theirs), &o) in self.nodes.iter_mut().zip(&mut part.nodes).zip(owner) {
+            for (i, &o) in owner.iter().enumerate() {
                 if o == p as u32 {
-                    std::mem::swap(mine, theirs);
+                    self.nodes.swap_entry(&mut part.nodes, i);
                 }
             }
             while let Some((time, seq, kind)) = part.queue.pop_entry() {
@@ -645,11 +651,10 @@ impl<P: Protocol, D: DelayModel> Engine<P, D, BufferSink> {
             let pushes = (self.seq - seq_before) as u32;
             let events = (self.sink.events.len() - ev_before) as u32;
             if log_state {
-                let node = &self.nodes[home.index()];
                 let state = PopState {
                     home,
-                    hw: node.hw.clone(),
-                    proto: node.proto.clone(),
+                    hw: self.nodes.hot[home.index()].hw.clone(),
+                    proto: self.nodes.proto[home.index()].clone(),
                 };
                 let remote = self.remote_mut();
                 remote.pops += 1;
@@ -684,7 +689,6 @@ impl<P: Protocol, D: DelayModel> Engine<P, D, BufferSink> {
 fn replay_window<P, D, S>(
     state: &mut ReplayState<P>,
     guards: &mut [MutexGuard<'_, Engine<P, D, BufferSink>>],
-    owner: &[u32],
     sink: &mut S,
     mut snap: Option<&mut SnapReplay<P>>,
 ) where
@@ -796,29 +800,34 @@ fn replay_window<P, D, S>(
     }
 
     // Route cross-partition messages: finalize their seqs through the
-    // sender's map, then enqueue at the owner. Delivery times sit at or
-    // past the window end (lookahead floor), so they never land in a
-    // partition's past.
+    // sender's map, then enqueue whole shards at their owners — the send
+    // already resolved the destination partition, so routing never looks an
+    // owner up again. Delivery times sit at or past the window end
+    // (lookahead floor), so they never land in a partition's past. Shard
+    // order differs from send order, but queue pushes commute: pop order is
+    // the sorted key order, and the final seqs were fixed by the replay.
     for (p, guard) in guards.iter_mut().enumerate() {
-        debug_assert!(state.outboxes[p].is_empty());
+        debug_assert!(state.outboxes[p].iter().all(Vec::is_empty));
         std::mem::swap(&mut state.outboxes[p], &mut guard.remote_mut().outbox);
     }
     for p in 0..k {
         let map = &state.maps[p];
-        // `drain` keeps the allocation; the vec ping-pongs back next window.
-        for out in state.outboxes[p].drain(..) {
-            let seq = map[(out.seq - PROV_BASE) as usize];
-            debug_assert_ne!(seq, UNASSIGNED);
-            let dest = owner[out.dst.index()] as usize;
-            guards[dest].queue.push(
-                out.time,
-                seq,
-                EventKind::Deliver {
-                    src: out.src,
-                    dst: out.dst,
-                    msg: out.msg,
-                },
-            );
+        for (dest, shard) in state.outboxes[p].iter_mut().enumerate() {
+            debug_assert!(dest != p || shard.is_empty(), "own-partition shard");
+            // `drain` keeps the allocation; vecs ping-pong back next window.
+            for out in shard.drain(..) {
+                let seq = map[(out.seq - PROV_BASE) as usize];
+                debug_assert_ne!(seq, UNASSIGNED);
+                guards[dest].queue.push(
+                    out.time,
+                    seq,
+                    EventKind::Deliver {
+                        src: out.src,
+                        dst: out.dst,
+                        msg: out.msg,
+                    },
+                );
+            }
         }
     }
 }

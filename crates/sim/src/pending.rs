@@ -103,6 +103,17 @@ impl<M> PendingSlab<M> {
         }
     }
 
+    /// A slab with room for `cap` slots pre-reserved — the engine builder's
+    /// pre-sizing so a large-n run reaches its pending high-water mark
+    /// without mid-run growth. The slab still grows past `cap` if a node
+    /// accumulates more concurrently pending items.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        PendingSlab {
+            slots: Vec::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
     /// Number of live items.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {

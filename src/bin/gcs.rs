@@ -174,8 +174,9 @@ FLIGHT RECORDER (always armed):
     Every run records its recent events into a bounded in-memory ring of
     compact binary frames (a few MiB, zero steady-state allocation). The
     window is dumped automatically on a watchdog trip (to
-    recorder-trip.jsonl) or an engine panic (recorder-panic.jsonl), and
-    on demand:
+    dumps/recorder-trip.jsonl) or an engine panic
+    (dumps/recorder-panic.jsonl; the dumps/ directory is created on
+    demand and git-ignored), and on request:
     --dump-recorder FILE dump the recorder window after the run (and use
                          FILE for trip/panic dumps too). A .jsonl path
                          gets the standard event-log format (works with
@@ -749,6 +750,19 @@ fn heartbeat_writer(path: &str) -> Result<Box<dyn Write + Send>, String> {
     }
 }
 
+/// Default location for automatic recorder dumps (watchdog trip, engine
+/// panic): `dumps/NAME`, creating the git-ignored directory on demand so
+/// repeated trips never litter the working-tree root. Explicit
+/// `--dump-recorder` paths are used verbatim and skip this.
+fn default_dump_path(name: &str) -> String {
+    if let Err(e) = std::fs::create_dir_all("dumps") {
+        // Fall back to the cwd rather than losing the forensic artifact.
+        eprintln!("warning: cannot create dumps/: {e}; writing dump to the current directory");
+        return name.to_string();
+    }
+    format!("dumps/{name}")
+}
+
 /// Writes a flight-recorder window to `path`: raw `GCSREC01` frames when
 /// the extension says binary (`.gcsrec` / `.bin`), the standard JSONL
 /// event-log format (consumable by `gcs trace` and `gcs replay-check`)
@@ -1006,7 +1020,7 @@ where
         let path = sinks
             .dump_recorder
             .clone()
-            .unwrap_or_else(|| "recorder-panic.jsonl".to_string());
+            .unwrap_or_else(|| default_dump_path("recorder-panic.jsonl"));
         match write_recorder_dump(&path, &sinks.recorder) {
             Ok(count) => eprintln!("panic: recorder dump written to {path} ({count} events)"),
             Err(e) => eprintln!("panic: {e}"),
@@ -1089,11 +1103,12 @@ where
     }
     let trip = sinks.watchdog.as_ref().and_then(|w| w.trip().cloned());
     // Dump the flight-recorder window when asked (--dump-recorder) or when
-    // the watchdog tripped (to the requested path, else a default next to
-    // the invocation), so every violation leaves a trace-able artifact.
+    // the watchdog tripped (to the requested path, else a default under
+    // dumps/), so every violation leaves a trace-able artifact without
+    // littering the working-tree root.
     let dump_path = match (&sinks.dump_recorder, &trip) {
         (Some(path), _) => Some(path.clone()),
-        (None, Some(_)) => Some("recorder-trip.jsonl".to_string()),
+        (None, Some(_)) => Some(default_dump_path("recorder-trip.jsonl")),
         (None, None) => None,
     };
     if let Some(path) = dump_path {
