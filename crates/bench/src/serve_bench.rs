@@ -1,0 +1,330 @@
+//! The `gcs serve-bench` load generator: mixed hot/cold workloads against
+//! a daemon, measuring throughput, latency percentiles, and the cache's
+//! cold-vs-hot speedup.
+//!
+//! Two phases over one set of distinct sweep specs:
+//!
+//! 1. **Cold** — every spec is submitted once with `wait=1` (the daemon
+//!    executes it); clients run concurrently, so this also exercises
+//!    admission and fair scheduling.
+//! 2. **Hot** — the same specs are resubmitted `repeat` times each; every
+//!    response must come from the result cache, byte-identical to the
+//!    cold body.
+//!
+//! The outcome feeds `BENCH_serve.json` (`gcs-bench-result/v1`), wired
+//! into the CI bench-diff gate like every other perf artifact.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use gcs_serve::{Client, ServeConfig, ServerHandle};
+
+use crate::BenchReport;
+
+/// Load-generator knobs (the `gcs serve-bench` flags).
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Daemon address; `None` spawns an embedded daemon for the run.
+    pub addr: Option<String>,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Distinct specs in the working set.
+    pub specs: usize,
+    /// Hot replays of each spec.
+    pub repeat: usize,
+    /// Embedded-daemon worker threads (`0` ⇒ available parallelism);
+    /// ignored when `addr` targets an external daemon.
+    pub workers: usize,
+    /// Smaller grids and working set (CI).
+    pub quick: bool,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            addr: None,
+            clients: 8,
+            specs: 24,
+            repeat: 4,
+            workers: 0,
+            quick: false,
+        }
+    }
+}
+
+/// What one run measured.
+#[derive(Debug)]
+pub struct ServeBenchOutcome {
+    /// The `BENCH_serve.json` report, ready to render or write.
+    pub report: BenchReport,
+    /// Cold (executing) submissions per second.
+    pub cold_jobs_per_sec: f64,
+    /// Hot (cache-replay) submissions per second.
+    pub hot_jobs_per_sec: f64,
+    /// Cache hit ratio observed across the hot phase.
+    pub hit_ratio: f64,
+    /// Mean cold latency over mean hot latency.
+    pub speedup: f64,
+}
+
+/// One spec of the working set: small distinct sweeps whose cost is
+/// dominated by engine execution, so the hot/cold contrast measures the
+/// cache, not the wire.
+fn spec_body(i: usize, quick: bool) -> String {
+    let (nodes, horizon, seeds) = if quick { (8, 60.0, 4) } else { (12, 150.0, 6) };
+    format!(
+        "topologies = path:{nodes}\nseeds = {}..{}\nhorizon = {horizon}\n",
+        i * 100,
+        i * 100 + seeds,
+    )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let at = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[at]
+}
+
+struct PhaseResult {
+    latencies_ms: Vec<f64>,
+    wall_s: f64,
+    bodies: HashMap<usize, u64>,
+}
+
+/// FNV-1a over a response body — only equality matters here.
+fn body_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Runs one phase: `tasks` is a list of spec indices; each client thread
+/// drains a shared cursor, timing every `wait=1` submission.
+fn run_phase(
+    addr: &str,
+    clients: usize,
+    tasks: &[usize],
+    quick: bool,
+    session_prefix: &str,
+) -> Result<PhaseResult, String> {
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, f64, u64)>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let cursor = &cursor;
+            let results = &results;
+            let errors = &errors;
+            scope.spawn(move || {
+                let mut client = Client::new(addr);
+                let session = format!("{session_prefix}-{c}");
+                loop {
+                    let at = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&spec) = tasks.get(at) else { break };
+                    let body = spec_body(spec, quick);
+                    let t0 = Instant::now();
+                    match client.post("/v1/jobs?kind=sweep&wait=1", Some(&session), &body) {
+                        Ok(resp) if resp.status == 200 => {
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            results
+                                .lock()
+                                .unwrap()
+                                .push((spec, ms, body_digest(&resp.body)));
+                        }
+                        Ok(resp) => errors
+                            .lock()
+                            .unwrap()
+                            .push(format!("spec {spec}: status {}", resp.status)),
+                        Err(e) => errors.lock().unwrap().push(format!("spec {spec}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let errors = errors.into_inner().unwrap();
+    if let Some(first) = errors.first() {
+        return Err(format!(
+            "{} request(s) failed; first: {first}",
+            errors.len()
+        ));
+    }
+    let samples = results.into_inner().unwrap();
+    let mut latencies_ms: Vec<f64> = samples.iter().map(|(_, ms, _)| *ms).collect();
+    latencies_ms.sort_by(f64::total_cmp);
+    let mut bodies: HashMap<usize, u64> = HashMap::new();
+    for (spec, _, digest) in samples {
+        if let Some(prev) = bodies.insert(spec, digest) {
+            if prev != digest {
+                return Err(format!(
+                    "spec {spec}: two subscribers saw different bodies in one phase"
+                ));
+            }
+        }
+    }
+    Ok(PhaseResult {
+        latencies_ms,
+        wall_s,
+        bodies,
+    })
+}
+
+/// Runs the full benchmark and builds the `BENCH_serve.json` report.
+pub fn run_serve_bench(cfg: &ServeBenchConfig) -> Result<ServeBenchOutcome, String> {
+    // Embedded daemon unless one was pointed at; keep the handle so it
+    // shuts down cleanly when the run ends.
+    let mut embedded: Option<ServerHandle> = None;
+    let addr = match &cfg.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let server = ServerHandle::spawn(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: cfg.workers,
+                // Ample for the working set: the speedup metric needs
+                // every cold artifact still resident in the hot phase.
+                cache_bytes: 256 << 20,
+                max_live: (cfg.clients * 2).max(64),
+                dump_dir: std::env::temp_dir().join("gcs-serve-bench-dumps"),
+                deterministic: true,
+            })
+            .map_err(|e| format!("cannot spawn embedded daemon: {e}"))?;
+            let addr = server.addr().to_string();
+            embedded = Some(server);
+            addr
+        }
+    };
+
+    let mut stats_client = Client::new(&addr);
+    let stats_before = stats_client
+        .get("/stats")
+        .map_err(|e| format!("daemon unreachable at {addr}: {e}"))?;
+    if stats_before.status != 200 {
+        return Err(format!("/stats returned {}", stats_before.status));
+    }
+
+    // Cold: each spec once.
+    let cold_tasks: Vec<usize> = (0..cfg.specs).collect();
+    let cold = run_phase(&addr, cfg.clients, &cold_tasks, cfg.quick, "cold")?;
+
+    // Hot: each spec `repeat` more times, interleaved across clients.
+    let hot_tasks: Vec<usize> = (0..cfg.specs * cfg.repeat).map(|i| i % cfg.specs).collect();
+    let hits_before = parse_stat(&mut stats_client, "cache_hits")?;
+    let hot = run_phase(&addr, cfg.clients, &hot_tasks, cfg.quick, "hot")?;
+    let hits_after = parse_stat(&mut stats_client, "cache_hits")?;
+
+    // Byte-identity across the cache boundary: the hot replay of every
+    // spec must equal its cold execution.
+    for (spec, cold_digest) in &cold.bodies {
+        match hot.bodies.get(spec) {
+            Some(hot_digest) if hot_digest == cold_digest => {}
+            Some(_) => {
+                return Err(format!(
+                    "spec {spec}: cache-hit body differs from the cold execution"
+                ))
+            }
+            None => return Err(format!("spec {spec}: never replayed in the hot phase")),
+        }
+    }
+
+    let cold_n = cold.latencies_ms.len() as f64;
+    let hot_n = hot.latencies_ms.len() as f64;
+    let cold_mean = cold.latencies_ms.iter().sum::<f64>() / cold_n.max(1.0);
+    let hot_mean = hot.latencies_ms.iter().sum::<f64>() / hot_n.max(1.0);
+    let cold_jobs_per_sec = cold_n / cold.wall_s.max(1e-9);
+    let hot_jobs_per_sec = hot_n / hot.wall_s.max(1e-9);
+    let hit_ratio = (hits_after - hits_before) as f64 / hot_n.max(1.0);
+    let speedup = cold_mean / hot_mean.max(1e-9);
+
+    let mut report = BenchReport::new("serve");
+    report
+        .config("clients", cfg.clients)
+        .config("specs", cfg.specs)
+        .config("repeat", cfg.repeat)
+        .config("quick", cfg.quick)
+        .metric("jobs_per_sec/cold", cold_jobs_per_sec)
+        .metric("jobs_per_sec/hot", hot_jobs_per_sec)
+        .metric("latency_ms/cold_p50", percentile(&cold.latencies_ms, 0.50))
+        .metric("latency_ms/cold_p99", percentile(&cold.latencies_ms, 0.99))
+        .metric("latency_ms/hot_p50", percentile(&hot.latencies_ms, 0.50))
+        .metric("latency_ms/hot_p99", percentile(&hot.latencies_ms, 0.99))
+        .metric("cache_hit_ratio/hot", hit_ratio)
+        .metric("cache_speedup/hot_vs_cold", speedup);
+
+    if let Some(mut server) = embedded {
+        server.shutdown();
+    }
+    Ok(ServeBenchOutcome {
+        report,
+        cold_jobs_per_sec,
+        hot_jobs_per_sec,
+        hit_ratio,
+        speedup,
+    })
+}
+
+/// Reads one integer counter out of the `/stats` JSON line.
+fn parse_stat(client: &mut Client, key: &str) -> Result<u64, String> {
+    let resp = client
+        .get("/stats")
+        .map_err(|e| format!("/stats failed: {e}"))?;
+    let text = resp.text();
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .ok_or_else(|| format!("/stats has no `{key}`: {text}"))?;
+    let digits: String = text[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| format!("/stats `{key}` is not an integer: {text}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_round_trips_with_speedup() {
+        let cfg = ServeBenchConfig {
+            clients: 4,
+            specs: 6,
+            repeat: 2,
+            workers: 2,
+            quick: true,
+            ..ServeBenchConfig::default()
+        };
+        let outcome = run_serve_bench(&cfg).expect("bench runs");
+        assert!(outcome.cold_jobs_per_sec > 0.0);
+        assert!(outcome.hot_jobs_per_sec > 0.0);
+        assert!(
+            (outcome.hit_ratio - 1.0).abs() < 1e-9,
+            "hot phase must be all cache hits, got {}",
+            outcome.hit_ratio
+        );
+        assert!(
+            outcome.speedup > 1.0,
+            "cache replay must beat execution, got {}×",
+            outcome.speedup
+        );
+        let json = outcome.report.to_json();
+        assert!(json.contains("\"bench\":\"serve\""));
+        assert!(json.contains("cache_speedup/hot_vs_cold"));
+    }
+
+    #[test]
+    fn percentiles_are_order_stats() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

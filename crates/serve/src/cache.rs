@@ -1,0 +1,184 @@
+//! The result cache: completed job artifacts keyed by canonical spec
+//! hash, LRU-evicted under a byte budget.
+//!
+//! Artifacts are immutable and shared (`Arc`), so a cache hit hands every
+//! subscriber the same buffer — results are written once at job completion
+//! and streamed to any number of clients by offset, never duplicated.
+//! Hit/miss/eviction counters feed the `/stats` endpoint and the serve
+//! heartbeat stream.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::artifact::JobArtifact;
+
+/// Counter snapshot for `/stats` and heartbeats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (and usually went on to execute).
+    pub misses: u64,
+    /// Artifacts evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+    /// Bytes currently resident.
+    pub bytes: usize,
+    /// The configured budget, bytes.
+    pub capacity: usize,
+}
+
+struct Entry {
+    artifact: Arc<JobArtifact>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A byte-bounded LRU over completed job artifacts.
+pub struct ResultCache {
+    capacity: usize,
+    used: usize,
+    tick: u64,
+    map: HashMap<u64, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` bytes of artifacts.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            used: 0,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up an artifact by spec hash, counting a hit or miss and
+    /// refreshing recency on hit.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<JobArtifact>> {
+        self.tick += 1;
+        match self.map.get_mut(&hash) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.artifact))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching counters or recency (status endpoints).
+    pub fn peek(&self, hash: u64) -> Option<Arc<JobArtifact>> {
+        self.map.get(&hash).map(|e| Arc::clone(&e.artifact))
+    }
+
+    /// Inserts a completed artifact, evicting least-recently-used entries
+    /// until the budget holds. An artifact larger than the whole budget is
+    /// not cached at all (it still streams to its live subscribers).
+    pub fn insert(&mut self, hash: u64, artifact: Arc<JobArtifact>) {
+        let bytes = artifact.resident_bytes();
+        if bytes > self.capacity {
+            return;
+        }
+        if let Some(old) = self.map.remove(&hash) {
+            self.used -= old.bytes;
+        }
+        while self.used + bytes > self.capacity {
+            let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            let evicted = self.map.remove(&victim).expect("victim exists");
+            self.used -= evicted.bytes;
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.used += bytes;
+        self.map.insert(
+            hash,
+            Entry {
+                artifact,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            bytes: self.used,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::JobKind;
+
+    fn artifact(id: &str, bytes: usize) -> Arc<JobArtifact> {
+        Arc::new(JobArtifact {
+            id: id.to_string(),
+            kind: JobKind::Sweep,
+            spec_hash: 0,
+            meta: String::new(),
+            results: vec![b'x'; bytes],
+            heartbeats: Vec::new(),
+            window: Vec::new(),
+            failures: 0,
+            deduped: 0,
+            jobs_total: 1,
+        })
+    }
+
+    #[test]
+    fn lru_evicts_under_byte_pressure() {
+        let mut c = ResultCache::new(2500);
+        c.insert(1, artifact("a", 1000));
+        c.insert(2, artifact("b", 1000));
+        assert!(c.get(1).is_some(), "refresh 1 so 2 is the LRU victim");
+        c.insert(3, artifact("c", 1000));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none(), "2 was least recently used");
+        assert!(c.get(3).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 1);
+        assert!(s.bytes >= 2000 && s.bytes <= 2500);
+    }
+
+    #[test]
+    fn oversized_artifacts_are_not_cached() {
+        let mut c = ResultCache::new(100);
+        c.insert(1, artifact("big", 1000));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let mut c = ResultCache::new(5000);
+        c.insert(1, artifact("a", 1000));
+        c.insert(1, artifact("a2", 2000));
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes >= 2000 && s.bytes < 3500, "{}", s.bytes);
+    }
+}

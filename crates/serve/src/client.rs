@@ -1,0 +1,217 @@
+//! A small blocking HTTP/1.1 client for the daemon: the CLI, the load
+//! generator, and the end-to-end tests all talk to `gcs serve` through it.
+//!
+//! Keep-alive by default; bodies are de-chunked transparently, so callers
+//! always see the logical payload (the level at which the daemon's
+//! byte-identity guarantees are stated).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response: status, headers (names lower-cased), de-framed body.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Header fields in order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body after Content-Length / chunked de-framing.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of the named header.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one daemon.
+pub struct Client {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (connects lazily).
+    pub fn new(addr: &str) -> Self {
+        Client {
+            addr: addr.to_string(),
+            conn: None,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(300)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(300)))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the full (de-framed) response. Retries
+    /// once on a fresh connection if a kept-alive one died under us.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        match self.request_once(method, path, headers, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                self.conn = None;
+                self.request_once(method, path, headers, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<Response> {
+        let conn = self.connect()?;
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: gcs\r\n");
+        for (k, v) in headers {
+            head.push_str(&format!("{k}: {v}\r\n"));
+        }
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        let stream = conn.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        let resp = read_response(conn);
+        let close = match &resp {
+            Err(_) => true,
+            Ok(r) => r.header("connection").is_some_and(|v| v == "close"),
+        };
+        if close {
+            self.conn = None;
+        }
+        resp
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, &[], &[])
+    }
+
+    /// `POST path` with a spec body and optional session header.
+    pub fn post(&mut self, path: &str, session: Option<&str>, body: &str) -> io::Result<Response> {
+        match session {
+            Some(s) => self.request("POST", path, &[("x-session", s)], body.as_bytes()),
+            None => self.request("POST", path, &[], body.as_bytes()),
+        }
+    }
+}
+
+fn read_response(conn: &mut BufReader<TcpStream>) -> io::Result<Response> {
+    let status_line = read_line(conn)?;
+    let mut parts = status_line.trim_end().splitn(3, ' ');
+    let _version = parts.next().unwrap_or("");
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(conn)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let body = if find("transfer-encoding").is_some_and(|v| v.contains("chunked")) {
+        read_chunked(conn)?
+    } else if let Some(len) = find("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| bad(format!("bad content-length {len:?}")))?;
+        let mut body = vec![0u8; len];
+        conn.read_exact(&mut body)?;
+        body
+    } else {
+        // No framing: read to EOF (the server closes the connection).
+        let mut body = Vec::new();
+        conn.read_to_end(&mut body)?;
+        body
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_chunked(conn: &mut BufReader<TcpStream>) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = read_line(conn)?;
+        let size_str = size_line.trim_end().split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+        if size == 0 {
+            // Trailer section: read lines until the blank terminator.
+            loop {
+                let line = read_line(conn)?;
+                if line.trim_end().is_empty() {
+                    break;
+                }
+            }
+            return Ok(body);
+        }
+        let at = body.len();
+        body.resize(at + size, 0);
+        conn.read_exact(&mut body[at..])?;
+        let mut crlf = [0u8; 2];
+        conn.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(bad("chunk not terminated by CRLF".to_string()));
+        }
+    }
+}
+
+fn read_line(conn: &mut BufReader<TcpStream>) -> io::Result<String> {
+    let mut line = String::new();
+    let n = conn.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    Ok(line)
+}
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}

@@ -1,0 +1,196 @@
+//! The `gcs` simulation daemon: one warm process multiplexing run, sweep,
+//! and chaos-batch jobs over a hand-rolled HTTP/1.1 + JSONL wire.
+//!
+//! Three properties make the daemon fast and safe to share:
+//!
+//! 1. **Spec-hash result caching** — every submission is canonically
+//!    serialized and hashed ([`gcs_sweep::hash`]); a completed job freezes
+//!    into an immutable [`JobArtifact`] keyed by that hash in a
+//!    byte-budgeted LRU ([`ResultCache`]). Resubmitting a spec replays the
+//!    frozen bytes without touching the engine.
+//! 2. **Admission control** — live jobs are bounded by a watermark; past
+//!    it the daemon sheds load with `429` + `Retry-After` instead of
+//!    queueing unboundedly, and a per-session round-robin ring keeps one
+//!    client's 10k-job sweep from starving interactive runs.
+//! 3. **Zero-copy streaming** — results are written once into a per-job
+//!    buffer and streamed to any number of subscribers by offset; cache
+//!    hits hand out the same `Arc`'d artifact.
+//!
+//! Responses for the same spec are byte-identical (at the de-chunked body
+//! level) across cache hit vs miss, worker counts, and concurrent
+//! subscribers — the wire inherits the sweep layer's determinism
+//! guarantee.
+//!
+//! Entry points: [`ServerHandle::spawn`] for embedding (tests, the CLI),
+//! [`client::Client`] for talking to a daemon.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cache;
+pub mod client;
+pub mod sched;
+pub mod server;
+pub mod wire;
+
+pub use artifact::{job_id, parse_submission, ChaosBatchSpec, JobArtifact, JobKind, ParsedJob};
+pub use cache::{CacheStats, ResultCache};
+pub use client::{Client, Response};
+pub use sched::{LiveJob, Resolved, Scheduler, ServeConfig, Submission};
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running daemon: the scheduler plus the accept-loop thread.
+pub struct ServerHandle {
+    sched: Arc<Scheduler>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds `cfg.addr` (port 0 picks a free port), starts the worker
+    /// pool, and spawns the accept loop.
+    pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let sched = Scheduler::start(cfg);
+        let accept_sched = Arc::clone(&sched);
+        let accept = std::thread::Builder::new()
+            .name("gcs-serve-accept".to_string())
+            .spawn(move || server::accept_loop(&listener, &accept_sched))?;
+        Ok(ServerHandle {
+            sched,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler, for in-process submission and stats.
+    pub fn sched(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Blocks until the daemon shuts down (a client POSTed `/v1/shutdown`,
+    /// or [`ServerHandle::shutdown`] ran from another thread).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.sched.join();
+    }
+
+    /// Graceful shutdown: stops admission, completes nothing further,
+    /// wakes all streams, and joins every thread.
+    pub fn shutdown(&mut self) {
+        self.sched.shutdown();
+        // The accept loop blocks in accept(); poke it so it re-checks.
+        let _ = TcpStream::connect(self.addr);
+        self.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "topologies = path:5\nseeds = 0..4\nhorizon = 15";
+
+    #[test]
+    fn end_to_end_submit_stream_and_cache() {
+        let mut server = ServerHandle::spawn(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_live: 8,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut client = Client::new(&addr);
+
+        // Cold submission, waiting for the full result stream.
+        let cold = client
+            .post("/v1/jobs?kind=sweep&wait=1", Some("s1"), SPEC)
+            .unwrap();
+        assert_eq!(cold.status, 200);
+        let cold_body = cold.body.clone();
+        assert!(!cold_body.is_empty());
+        let text = cold.text();
+        assert!(
+            text.lines()
+                .last()
+                .unwrap()
+                .contains("\"kind\":\"summary\""),
+            "{text}"
+        );
+
+        // Hot resubmission: byte-identical body, served from the cache.
+        let hot = client
+            .post("/v1/jobs?kind=sweep&wait=1", Some("s2"), SPEC)
+            .unwrap();
+        assert_eq!(hot.status, 200);
+        assert_eq!(hot.body, cold_body, "cache hit must replay identical bytes");
+
+        // Status + results endpoints agree with the submit-time stream.
+        let submit = client
+            .post("/v1/jobs?kind=sweep", Some("s1"), SPEC)
+            .unwrap();
+        assert_eq!(submit.status, 200, "{}", submit.text());
+        assert_eq!(submit.header("x-gcs-cache"), Some("hit"));
+        let id = submit.header("x-gcs-job").unwrap().to_string();
+        let results = client.get(&format!("/v1/jobs/{id}/results")).unwrap();
+        assert_eq!(results.body, cold_body);
+        let status = client.get(&format!("/v1/jobs/{id}")).unwrap();
+        assert!(status.text().contains("\"status\":\"done\""));
+
+        // Stats reflect the two hits.
+        let stats = client.get("/stats").unwrap();
+        assert!(
+            stats.text().contains("\"cache_hits\":2"),
+            "{}",
+            stats.text()
+        );
+
+        // Unknown id is a clean 404.
+        let missing = client.get("/v1/jobs/sweep-0000000000000000").unwrap();
+        assert_eq!(missing.status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_spec_is_a_400_not_a_crash() {
+        let mut server = ServerHandle::spawn(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::new(&server.addr().to_string());
+        let resp = client
+            .post("/v1/jobs?kind=sweep", None, "not a spec at all")
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        let resp = client.post("/v1/jobs?kind=bogus", None, SPEC).unwrap();
+        assert_eq!(resp.status, 400);
+        // The daemon still serves after the bad requests.
+        let stats = client.get("/stats").unwrap();
+        assert_eq!(stats.status, 200);
+        server.shutdown();
+    }
+}

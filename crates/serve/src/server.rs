@@ -1,0 +1,407 @@
+//! The accept loop and per-connection request handling.
+//!
+//! One thread per connection, HTTP/1.1 keep-alive with pipelining (the
+//! incremental parser in [`crate::wire`] buffers across reads). Complete
+//! responses use `Content-Length` framing; result/heartbeat streams use
+//! chunked transfer-encoding, so byte-identity guarantees are stated at
+//! the de-chunked body level (chunk boundaries follow execution progress).
+//!
+//! # Endpoints
+//!
+//! | Method | Path                      | Body / behavior                              |
+//! |--------|---------------------------|----------------------------------------------|
+//! | POST   | `/v1/jobs?kind=K[&wait=1]`| submit spec; `wait=1` streams results        |
+//! | GET    | `/v1/jobs/{id}`           | one JSON status line                         |
+//! | GET    | `/v1/jobs/{id}/results`   | JSONL result stream (live-follows)           |
+//! | GET    | `/v1/jobs/{id}/heartbeats`| `gcs-heartbeat/v1` JSONL stream              |
+//! | GET    | `/v1/jobs/{id}/blame`     | trace-blame over the retained window         |
+//! | GET    | `/stats`                  | scheduler + cache counters                   |
+//! | GET    | `/v1/heartbeats[?once=1]` | server-wide event stream                     |
+//! | POST   | `/v1/shutdown`            | graceful shutdown                            |
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gcs_forensics::{blame, ClockReconstruction, Dag};
+
+use crate::artifact::JobKind;
+use crate::sched::{LiveJob, Resolved, Scheduler, Submission};
+use crate::wire::{chunk, chunked_head, simple_response, RequestParser, CHUNK_END};
+
+/// How long streaming endpoints wait per poll before re-checking for
+/// shutdown; bounds how stale a dying connection can get.
+const STREAM_POLL: Duration = Duration::from_millis(200);
+
+/// Runs the accept loop until shutdown is requested. Each connection gets
+/// its own thread; the loop itself exits when [`Scheduler::shutdown`] has
+/// run and the listener is poked (see [`crate::ServerHandle::shutdown`]).
+pub fn accept_loop(listener: &TcpListener, sched: &Arc<Scheduler>) {
+    let local = listener.local_addr().ok();
+    for conn in listener.incoming() {
+        if sched.is_shutdown() {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let sched = Arc::clone(sched);
+        let _ = std::thread::Builder::new()
+            .name("gcs-serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &sched, local);
+            });
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    sched: &Arc<Scheduler>,
+    local: Option<SocketAddr>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let mut parser = RequestParser::new();
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match parser.next_request() {
+                Ok(Some(req)) => {
+                    let close = req
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                    let keep = handle_request(&mut stream, sched, &req, local)?;
+                    if close || !keep {
+                        return Ok(());
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let body = format!("{e}\n");
+                    let _ = stream.write_all(&simple_response(
+                        e.status(),
+                        "text/plain",
+                        &[("connection", "close")],
+                        body.as_bytes(),
+                    ));
+                    return Ok(());
+                }
+            }
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(());
+        }
+        parser.feed(&buf[..n]);
+    }
+}
+
+/// Dispatches one parsed request. Returns whether the connection may be
+/// kept alive (streaming responses end it: their length is only known to
+/// the chunked framing, and a follow stream has no natural end).
+fn handle_request(
+    stream: &mut TcpStream,
+    sched: &Arc<Scheduler>,
+    req: &crate::wire::Request,
+    local: Option<SocketAddr>,
+) -> std::io::Result<bool> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/jobs") => handle_submit(stream, sched, req),
+        ("GET", "/stats") => {
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[],
+                sched.stats_json().as_bytes(),
+            )?;
+            Ok(true)
+        }
+        ("GET", "/v1/heartbeats") => handle_serve_heartbeats(stream, sched, req),
+        ("POST", "/v1/shutdown") => {
+            respond(stream, 200, "text/plain", &[], b"shutting down\n")?;
+            sched.shutdown();
+            // Poke the (blocking) accept loop so it observes the flag.
+            if let Some(addr) = local {
+                let _ = TcpStream::connect(addr);
+            }
+            Ok(false)
+        }
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            let (id, sub) = match rest.split_once('/') {
+                Some((id, sub)) => (id, sub),
+                None => (rest, ""),
+            };
+            handle_job_get(stream, sched, req, id, sub)
+        }
+        _ => {
+            respond(stream, 404, "text/plain", &[], b"no such endpoint\n")?;
+            Ok(true)
+        }
+    }
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    sched: &Arc<Scheduler>,
+    req: &crate::wire::Request,
+) -> std::io::Result<bool> {
+    let kind = match JobKind::parse(req.query_param("kind").unwrap_or("sweep")) {
+        Ok(kind) => kind,
+        Err(e) => {
+            respond(stream, 400, "text/plain", &[], format!("{e}\n").as_bytes())?;
+            return Ok(true);
+        }
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            respond(stream, 400, "text/plain", &[], b"spec body must be UTF-8\n")?;
+            return Ok(true);
+        }
+    };
+    let session = req.header("x-session").unwrap_or("default");
+    let wait = req.query_param("wait").is_some_and(|v| v == "1");
+    match sched.submit(kind, body, session) {
+        Err(e) => {
+            respond(stream, 400, "text/plain", &[], format!("{e}\n").as_bytes())?;
+            Ok(true)
+        }
+        Ok(Submission::Rejected { retry_after }) => {
+            let retry = retry_after.to_string();
+            respond(
+                stream,
+                429,
+                "text/plain",
+                &[("retry-after", &retry)],
+                b"job queue full; retry later\n",
+            )?;
+            Ok(true)
+        }
+        Ok(Submission::Cached(artifact)) => {
+            if wait {
+                stream_bytes(stream, &artifact.results)?;
+                Ok(false)
+            } else {
+                respond(
+                    stream,
+                    200,
+                    "application/json",
+                    &[("x-gcs-cache", "hit"), ("x-gcs-job", &artifact.id)],
+                    artifact.meta.as_bytes(),
+                )?;
+                Ok(true)
+            }
+        }
+        Ok(Submission::Attached(job)) | Ok(Submission::Accepted(job)) => {
+            if wait {
+                stream_live_results(stream, &job, sched)?;
+                Ok(false)
+            } else {
+                let meta = job.meta_json();
+                respond(
+                    stream,
+                    202,
+                    "application/json",
+                    &[("x-gcs-cache", "miss"), ("x-gcs-job", &job.id)],
+                    meta.as_bytes(),
+                )?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+fn handle_job_get(
+    stream: &mut TcpStream,
+    sched: &Arc<Scheduler>,
+    req: &crate::wire::Request,
+    id: &str,
+    sub: &str,
+) -> std::io::Result<bool> {
+    match (sched.resolve(id), sub) {
+        (Resolved::Missing, _) => {
+            respond(
+                stream,
+                404,
+                "text/plain",
+                &[],
+                b"unknown job id (never submitted, or evicted from the result cache)\n",
+            )?;
+            Ok(true)
+        }
+        (Resolved::Live(job), "") => {
+            let meta = job.meta_json();
+            respond(stream, 200, "application/json", &[], meta.as_bytes())?;
+            Ok(true)
+        }
+        (Resolved::Done(artifact), "") => {
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[],
+                artifact.meta.as_bytes(),
+            )?;
+            Ok(true)
+        }
+        (Resolved::Live(job), "results") => {
+            stream_live_results(stream, &job, sched)?;
+            Ok(false)
+        }
+        (Resolved::Done(artifact), "results") => {
+            stream_bytes(stream, &artifact.results)?;
+            Ok(false)
+        }
+        (Resolved::Live(job), "heartbeats") => {
+            stream_live_heartbeats(stream, &job, sched)?;
+            Ok(false)
+        }
+        (Resolved::Done(artifact), "heartbeats") => {
+            stream_bytes(stream, &artifact.heartbeats)?;
+            Ok(false)
+        }
+        (Resolved::Live(_), "blame") => {
+            respond(
+                stream,
+                409,
+                "text/plain",
+                &[],
+                b"job still running; blame needs the completed artifact\n",
+            )?;
+            Ok(true)
+        }
+        (Resolved::Done(artifact), "blame") => {
+            let hops = req
+                .query_param("hops")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(6);
+            let global = req.query_param("global").is_some_and(|v| v == "1");
+            match blame_text(&artifact.window, hops, global) {
+                Ok(text) => respond(stream, 200, "text/plain", &[], text.as_bytes())?,
+                Err(message) => respond(stream, 404, "text/plain", &[], message.as_bytes())?,
+            }
+            Ok(true)
+        }
+        _ => {
+            respond(stream, 404, "text/plain", &[], b"no such job endpoint\n")?;
+            Ok(true)
+        }
+    }
+}
+
+/// Runs the forensic blame pipeline over a job's retained recorder window.
+fn blame_text(
+    window: &[gcs_sim::EngineEvent],
+    max_hops: usize,
+    global: bool,
+) -> Result<String, String> {
+    if window.is_empty() {
+        return Err(
+            "no flight-recorder window retained for this job (nothing executed, \
+             or the window was empty)\n"
+                .to_string(),
+        );
+    }
+    let dag = Dag::from_events(window.to_vec());
+    let clocks = ClockReconstruction::from_events(dag.events());
+    match blame(&dag, &clocks, None, max_hops, global) {
+        Some(report) => Ok(report.render(&clocks)),
+        None => Err("window never has two nodes awake at once — no skew to explain\n".to_string()),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    stream.write_all(&simple_response(status, content_type, extra, body))
+}
+
+/// Streams a frozen byte buffer as one chunked response.
+fn stream_bytes(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&chunked_head(200, "application/x-ndjson"))?;
+    if !bytes.is_empty() {
+        stream.write_all(&chunk(bytes))?;
+    }
+    stream.write_all(CHUNK_END)
+}
+
+/// Follows a live job's result stream by offset until it completes.
+fn stream_live_results(
+    stream: &mut TcpStream,
+    job: &Arc<LiveJob>,
+    sched: &Arc<Scheduler>,
+) -> std::io::Result<()> {
+    stream.write_all(&chunked_head(200, "application/x-ndjson"))?;
+    let mut offset = 0usize;
+    loop {
+        let (bytes, done) = job.wait_results(offset, STREAM_POLL);
+        if !bytes.is_empty() {
+            stream.write_all(&chunk(&bytes))?;
+            offset += bytes.len();
+        }
+        if done {
+            return stream.write_all(CHUNK_END);
+        }
+        if sched.is_shutdown() {
+            return stream.write_all(CHUNK_END);
+        }
+    }
+}
+
+/// Follows a live job's heartbeat stream by offset until it completes.
+fn stream_live_heartbeats(
+    stream: &mut TcpStream,
+    job: &Arc<LiveJob>,
+    sched: &Arc<Scheduler>,
+) -> std::io::Result<()> {
+    stream.write_all(&chunked_head(200, "application/x-ndjson"))?;
+    let mut offset = 0usize;
+    loop {
+        let (bytes, done) = job.wait_heartbeats(offset, STREAM_POLL);
+        if !bytes.is_empty() {
+            stream.write_all(&chunk(&bytes))?;
+            offset += bytes.len();
+        }
+        if done {
+            return stream.write_all(CHUNK_END);
+        }
+        if sched.is_shutdown() {
+            return stream.write_all(CHUNK_END);
+        }
+    }
+}
+
+/// The server-wide heartbeat stream: `once=1` returns the retained buffer
+/// and closes; otherwise follows until the daemon shuts down.
+fn handle_serve_heartbeats(
+    stream: &mut TcpStream,
+    sched: &Arc<Scheduler>,
+    req: &crate::wire::Request,
+) -> std::io::Result<bool> {
+    let mut offset = req
+        .query_param("offset")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    if req.query_param("once").is_some_and(|v| v == "1") {
+        let (bytes, _, _) = sched.wait_serve_heartbeats(offset, Duration::from_millis(1));
+        respond(stream, 200, "application/x-ndjson", &[], &bytes)?;
+        return Ok(true);
+    }
+    stream.write_all(&chunked_head(200, "application/x-ndjson"))?;
+    loop {
+        let (bytes, next, shutdown) = sched.wait_serve_heartbeats(offset, STREAM_POLL);
+        if !bytes.is_empty() {
+            stream.write_all(&chunk(&bytes))?;
+        }
+        offset = next;
+        if shutdown {
+            return stream.write_all(CHUNK_END).map(|()| false);
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! The hand-rolled HTTP/1.1 wire layer: an incremental request parser and
+//! response serializers.
+//!
+//! The parser is written against a hostile network: bytes arrive torn at
+//! arbitrary boundaries, clients pipeline requests, send garbage preludes,
+//! or attempt resource-exhaustion with unbounded header or body sections.
+//! Every such input produces a clean [`WireError`] (mapped to a 4xx
+//! response by the server) — never a panic, never unbounded buffering
+//! (`tests/wire_torture.rs` drives all of these adversarially).
+//!
+//! Scope is deliberately narrow: `HTTP/1.0`–`1.1` requests with optional
+//! `Content-Length` bodies. `Transfer-Encoding` on *requests* is rejected;
+//! responses may use chunked framing (the streaming endpoints do).
+
+use std::fmt;
+
+/// Hard cap on the request line + header section, bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body, bytes (specs are tiny; this is generous).
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Hard cap on the number of header fields.
+pub const MAX_HEADERS: usize = 100;
+
+/// A parse failure. The connection is poisoned: the server answers with
+/// the mapped status and closes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Request line + headers exceed [`MAX_HEADER_BYTES`] (or
+    /// [`MAX_HEADERS`] fields) without terminating.
+    HeaderTooLarge,
+    /// Declared `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// The first line is not `METHOD SP /target SP HTTP/1.x`.
+    BadRequestLine(String),
+    /// A header line is malformed (no colon, empty or non-token name).
+    BadHeader(String),
+    /// `Content-Length` is non-numeric or conflicting.
+    BadContentLength(String),
+    /// The request declares a `Transfer-Encoding` (unsupported on
+    /// requests).
+    UnsupportedTransfer,
+}
+
+impl WireError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            WireError::HeaderTooLarge => 431,
+            WireError::BodyTooLarge(_) => 413,
+            _ => 400,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::HeaderTooLarge => {
+                write!(f, "header section exceeds {MAX_HEADER_BYTES} bytes")
+            }
+            WireError::BodyTooLarge(n) => {
+                write!(f, "declared body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+            WireError::BadRequestLine(line) => write!(f, "malformed request line `{line}`"),
+            WireError::BadHeader(line) => write!(f, "malformed header line `{line}`"),
+            WireError::BadContentLength(v) => write!(f, "bad content-length `{v}`"),
+            WireError::UnsupportedTransfer => {
+                write!(f, "transfer-encoding is not supported on requests")
+            }
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header fields, in order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the named header (name matched case-insensitively —
+    /// stored names are already lower-cased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of the named query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incremental request parser over a growing byte buffer.
+///
+/// Feed raw socket reads with [`RequestParser::feed`]; drain complete
+/// requests with [`RequestParser::next_request`]. Bytes beyond the first
+/// complete request stay buffered, so pipelined requests parse one per
+/// call. Any error is terminal for the connection.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> Self {
+        RequestParser::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (for tests and backpressure accounting).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    /// `Ok(None)` means "incomplete — feed more bytes".
+    pub fn next_request(&mut self) -> Result<Option<Request>, WireError> {
+        // Robustness (RFC 9112 §2.2): ignore CRLF/LF noise between
+        // pipelined requests.
+        let skip = self
+            .buf
+            .iter()
+            .take_while(|&&b| b == b'\r' || b == b'\n')
+            .count();
+        if skip > 0 {
+            self.buf.drain(..skip);
+        }
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        let Some(header_end) = find_header_end(&self.buf) else {
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(WireError::HeaderTooLarge);
+            }
+            return Ok(None);
+        };
+        if header_end > MAX_HEADER_BYTES {
+            return Err(WireError::HeaderTooLarge);
+        }
+        let head = std::str::from_utf8(&self.buf[..header_end])
+            .map_err(|_| WireError::BadHeader("<non-utf8 header bytes>".into()))?;
+        let mut lines = head
+            .split("\r\n")
+            .map(|l| l.strip_suffix('\n').unwrap_or(l));
+        // Tolerate bare-LF line endings by re-splitting each CRLF segment.
+        let mut flat: Vec<&str> = Vec::new();
+        for l in lines.by_ref() {
+            flat.extend(l.split('\n'));
+        }
+        let request_line = flat.first().copied().unwrap_or("");
+        let (method, path, query) = parse_request_line(request_line)?;
+        let mut headers = Vec::new();
+        for line in flat.iter().skip(1).filter(|l| !l.is_empty()) {
+            if headers.len() >= MAX_HEADERS {
+                return Err(WireError::HeaderTooLarge);
+            }
+            headers.push(parse_header_line(line)?);
+        }
+        let mut content_length: Option<usize> = None;
+        for (name, value) in &headers {
+            match name.as_str() {
+                "content-length" => {
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| WireError::BadContentLength(value.clone()))?;
+                    if let Some(prev) = content_length {
+                        if prev != n {
+                            return Err(WireError::BadContentLength(value.clone()));
+                        }
+                    }
+                    content_length = Some(n);
+                }
+                "transfer-encoding" => return Err(WireError::UnsupportedTransfer),
+                _ => {}
+            }
+        }
+        let body_len = content_length.unwrap_or(0);
+        if body_len > MAX_BODY_BYTES {
+            return Err(WireError::BodyTooLarge(body_len));
+        }
+        let total = header_end + body_len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[header_end..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Index one past the `\r\n\r\n` (or `\n\n`) header terminator, if any.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // `\n\n` or `\n\r\n` both end the header section.
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Decoded request line: `(method, path, query pairs)`.
+type RequestLine = (String, String, Vec<(String, String)>);
+
+fn parse_request_line(line: &str) -> Result<RequestLine, WireError> {
+    let err = || WireError::BadRequestLine(line.chars().take(80).collect());
+    let mut parts = line.split(' ');
+    let method = parts.next().ok_or_else(err)?;
+    let target = parts.next().ok_or_else(err)?;
+    let version = parts.next().ok_or_else(err)?;
+    if parts.next().is_some() {
+        return Err(err());
+    }
+    if method.is_empty() || method.len() > 16 || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(err());
+    }
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(err());
+    }
+    if !target.starts_with('/') || target.len() > 8 * 1024 {
+        return Err(err());
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok((method.to_string(), path.to_string(), query))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), WireError> {
+    let err = || WireError::BadHeader(line.chars().take(80).collect());
+    let (name, value) = line.split_once(':').ok_or_else(err)?;
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return Err(err());
+    }
+    Ok((
+        name.to_ascii_lowercase(),
+        value.trim_matches([' ', '\t']).to_string(),
+    ))
+}
+
+/// Human-facing reason phrase for the statuses the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a complete (non-streaming) response with `Content-Length`
+/// framing, ready for `write_all`.
+pub fn simple_response(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 256);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+            status_reason(status),
+            body.len()
+        )
+        .as_bytes(),
+    );
+    for (k, v) in extra_headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// Serializes the head of a chunked streaming response; follow with
+/// [`chunk`] frames and [`CHUNK_END`].
+pub fn chunked_head(status: u16, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n\r\n",
+        status_reason(status)
+    )
+    .into_bytes()
+}
+
+/// One chunked-encoding frame around `data` (callers skip empty slices —
+/// an empty chunk would terminate the stream).
+pub fn chunk(data: &[u8]) -> Vec<u8> {
+    debug_assert!(!data.is_empty(), "empty chunk terminates the stream");
+    let mut out = Vec::with_capacity(data.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminal frame of a chunked response.
+pub const CHUNK_END: &[u8] = b"0\r\n\r\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<Request>, WireError> {
+        let mut p = RequestParser::new();
+        p.feed(bytes);
+        p.next_request()
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let r = parse_one(b"GET /stats HTTP/1.1\r\nhost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/stats");
+        assert_eq!(r.header("Host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_query_and_body() {
+        let r = parse_one(
+            b"POST /v1/jobs?kind=sweep&x=1 HTTP/1.1\r\ncontent-length: 11\r\n\r\nhorizon = 5",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(r.query_param("kind"), Some("sweep"));
+        assert_eq!(r.query_param("x"), Some("1"));
+        assert_eq!(r.body, b"horizon = 5");
+    }
+
+    #[test]
+    fn incomplete_requests_wait_for_more_bytes() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /a HTT");
+        assert_eq!(p.next_request().unwrap(), None);
+        p.feed(b"P/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/a");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/a");
+        assert_eq!(p.next_request().unwrap().unwrap().path, "/b");
+        assert_eq!(p.next_request().unwrap(), None);
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn garbage_preludes_error_cleanly() {
+        for garbage in [
+            &b"SSH-2.0-OpenSSH_9.6\r\n\r\n"[..],
+            &b"\x16\x03\x01\x02\x00ls -la\r\n\r\n"[..],
+            &b"get /lowercase HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x HTTP/2.0\r\n\r\n"[..],
+            &b"GET relative HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1 extra\r\n\r\n"[..],
+        ] {
+            assert!(matches!(
+                parse_one(garbage),
+                Err(WireError::BadRequestLine(_) | WireError::BadHeader(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_without_buffering_forever() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\n");
+        let filler = format!("x-pad: {}\r\n", "a".repeat(1000));
+        let mut hit = None;
+        for _ in 0..100 {
+            p.feed(filler.as_bytes());
+            if let Err(e) = p.next_request() {
+                hit = Some(e);
+                break;
+            }
+        }
+        assert_eq!(hit, Some(WireError::HeaderTooLarge));
+    }
+
+    #[test]
+    fn content_length_abuse_is_rejected() {
+        assert!(matches!(
+            parse_one(b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n"),
+            Err(WireError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse_one(b"POST / HTTP/1.1\r\ncontent-length: 3\r\ncontent-length: 4\r\n\r\n"),
+            Err(WireError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse_one(b"POST / HTTP/1.1\r\ncontent-length: 999999999999\r\n\r\n"),
+            Err(WireError::BodyTooLarge(_))
+        ));
+        assert!(matches!(
+            parse_one(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(WireError::UnsupportedTransfer)
+        ));
+    }
+
+    #[test]
+    fn response_serializers_frame_correctly() {
+        let r = simple_response(429, "application/json", &[("retry-after", "3")], b"{}");
+        let text = String::from_utf8(r).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        assert_eq!(chunk(b"abc"), b"3\r\nabc\r\n");
+        assert!(String::from_utf8(chunked_head(200, "application/jsonl"))
+            .unwrap()
+            .contains("transfer-encoding: chunked"));
+    }
+}

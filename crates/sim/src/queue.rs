@@ -573,6 +573,38 @@ mod tests {
         assert_eq!(popped, expect);
     }
 
+    /// `len()` — the number the engine reports to observers as the
+    /// heartbeat `queue_depth` — counts all three calendar regions, not
+    /// just the near heap, and stays exact while pops migrate entries
+    /// between regions.
+    #[test]
+    fn len_spans_near_ring_and_overflow_regions() {
+        let mut q = EventQueue::with_capacity_and_floor(4, Some(1.0));
+        let regions = |q: &EventQueue<&str>| {
+            let cal = q.calendar.as_ref().unwrap();
+            (q.near.keys.len(), cal.ring_len, cal.overflow.keys.len())
+        };
+        // First push re-anchors the wheel at bucket 10.
+        q.push(10.0, 0, "anchor");
+        q.push(10.2, 1, "near"); // same bucket -> near heap
+        q.push(12.5, 2, "ring"); // 2 buckets ahead -> ring
+        q.push(500.0, 3, "overflow"); // past the wheel horizon -> overflow
+        assert_eq!(regions(&q), (2, 1, 1));
+        assert_eq!(q.len(), 4, "depth must count every region");
+        // Draining keeps the count exact as entries migrate ring -> near
+        // and overflow -> near on refills.
+        let mut expect = 4;
+        for name in ["anchor", "near", "ring", "overflow"] {
+            let (near, ring, over) = regions(&q);
+            assert_eq!(q.len(), near + ring + over);
+            assert_eq!(q.pop().map(|(_, v)| v), Some(name));
+            expect -= 1;
+            assert_eq!(q.len(), expect);
+        }
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0);
+    }
+
     /// A long quiet stretch exercises the jump path: the wheel re-anchors
     /// at the overflow minimum instead of stepping through empty buckets.
     #[test]

@@ -107,7 +107,7 @@ fn exec<P: Protocol>(
     schedules: Vec<RateSchedule>,
     horizon: f64,
     sinks: JobSinks,
-) -> (JobSinks, MessageStats) {
+) -> Result<(JobSinks, MessageStats), (Box<JobSinks>, String)> {
     let mut engine = Engine::builder(graph)
         .protocols(protocols)
         .delay_model(delay)
@@ -120,9 +120,43 @@ fn exec<P: Protocol>(
     // one per worker thread. Nesting the windowed parallel driver inside a
     // job would oversubscribe the machine to jobs x threads cores — use
     // `gcs run --threads` when one large simulation should own the cores.
-    engine.run_until(horizon);
-    let stats = engine.message_stats().clone();
-    (engine.into_sink(), stats)
+    //
+    // The unwind guard salvages the observability stack — most importantly
+    // the flight recorder's event window — when protocol or engine code
+    // panics mid-run, so hosted jobs (`gcs serve`) can dump the window.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run_until(horizon)));
+    match run {
+        Ok(()) => {
+            let stats = engine.message_stats().clone();
+            Ok((engine.into_sink(), stats))
+        }
+        Err(payload) => {
+            let message = crate::pool::panic_message(payload.as_ref());
+            Err((Box::new(engine.into_sink()), message))
+        }
+    }
+}
+
+/// Everything one execution produced: the measurement (or failure), the
+/// watchdog/panic disposition, and the flight recorder holding the final
+/// event window.
+///
+/// The recorder is returned still encoded; decode it with
+/// [`gcs_sim::RecorderSink::window_events`] only when the window is
+/// actually needed (a trip/panic dump, a blame query) — plain sweeps drop
+/// it for free.
+#[derive(Debug)]
+pub struct JobExecution {
+    /// The job's measurements, or the failure/panic message.
+    pub outcome: Result<JobResult, String>,
+    /// Whether the invariant watchdog tripped (always `false` without
+    /// `watchdog = true`).
+    pub tripped: bool,
+    /// Whether the engine panicked mid-run (the panic was caught; the
+    /// recorder window below still holds the events leading up to it).
+    pub panicked: bool,
+    /// The per-job flight recorder, with its bounded window intact.
+    pub recorder: RecorderSink,
 }
 
 /// Runs one job to completion on a fresh engine and returns its
@@ -132,7 +166,32 @@ fn exec<P: Protocol>(
 /// random-walk rate schedules) is seeded from `job.seed`, so a job's result
 /// is a pure function of its [`JobSpec`] — the foundation of the sweep
 /// determinism guarantee.
+///
+/// A panic inside the engine is caught and reported as `Err("panicked: …")`
+/// — the same message the worker pool would have produced, so sweep output
+/// is unchanged.
 pub fn run_job(job: &JobSpec) -> Result<JobResult, String> {
+    run_job_full(job).outcome
+}
+
+/// Like [`run_job`], additionally returning the watchdog/panic disposition
+/// and the flight recorder so hosts can write post-mortem dumps and serve
+/// blame queries. See [`JobExecution`].
+pub fn run_job_full(job: &JobSpec) -> JobExecution {
+    match run_job_inner(job) {
+        Ok(execution) => execution,
+        Err(message) => JobExecution {
+            outcome: Err(message),
+            tripped: false,
+            panicked: false,
+            recorder: RecorderSink::new(),
+        },
+    }
+}
+
+/// The fallible setup phase: errors here (bad topology, unknown algorithm)
+/// happen before an engine exists, so there is no recorder to salvage.
+fn run_job_inner(job: &JobSpec) -> Result<JobExecution, String> {
     let graph = parse_topology(&job.topology, job.seed)?;
     let n = graph.len();
     let d = graph.diameter();
@@ -158,7 +217,7 @@ pub fn run_job(job: &JobSpec) -> Result<JobResult, String> {
             exec(graph, $protocols, delay, schedules, horizon, sinks)
         };
     }
-    let (mut sinks, stats) = match job.algo.as_str() {
+    let executed = match job.algo.as_str() {
         "aopt" => run!(vec![AOpt::new(params); n]),
         "jump" => run!(vec![AOptJump::new(params); n]),
         "mingap" => run!(vec![MinGapAOpt::new(params); n]),
@@ -168,29 +227,41 @@ pub fn run_job(job: &JobSpec) -> Result<JobResult, String> {
         "nosync" => run!(vec![NoSync; n]),
         other => return Err(format!("unknown algorithm `{other}`")),
     };
-    sinks.metrics.flush_rate_window(horizon);
-
-    Ok(JobResult {
-        nodes: n,
-        diameter: d,
-        horizon,
-        global_skew: sinks.observer.worst_global(),
-        local_skew: sinks.observer.worst_local(),
-        global_bound: params.global_skew_bound(d),
-        local_bound: params.local_skew_bound(d),
-        send_events: stats.send_events,
-        transmissions: stats.transmissions,
-        deliveries: stats.deliveries,
-        dropped: stats.dropped,
-        dropped_model: stats.dropped_model,
-        dropped_faults: stats.dropped_faults,
-        duplicated: stats.duplicated,
-        events_recorded: sinks
-            .metrics
-            .registry()
-            .counter_value("events.total")
-            .unwrap_or(0),
-        watchdog_tripped: sinks.watchdog.is_some_and(|w| w.tripped()),
+    let (sinks, outcome, panicked) = match executed {
+        Ok((mut sinks, stats)) => {
+            sinks.metrics.flush_rate_window(horizon);
+            let result = JobResult {
+                nodes: n,
+                diameter: d,
+                horizon,
+                global_skew: sinks.observer.worst_global(),
+                local_skew: sinks.observer.worst_local(),
+                global_bound: params.global_skew_bound(d),
+                local_bound: params.local_skew_bound(d),
+                send_events: stats.send_events,
+                transmissions: stats.transmissions,
+                deliveries: stats.deliveries,
+                dropped: stats.dropped,
+                dropped_model: stats.dropped_model,
+                dropped_faults: stats.dropped_faults,
+                duplicated: stats.duplicated,
+                events_recorded: sinks
+                    .metrics
+                    .registry()
+                    .counter_value("events.total")
+                    .unwrap_or(0),
+                watchdog_tripped: sinks.watchdog.as_ref().is_some_and(|w| w.tripped()),
+            };
+            (sinks, Ok(result), false)
+        }
+        Err((sinks, message)) => (*sinks, Err(message), true),
+    };
+    let tripped = sinks.watchdog.as_ref().is_some_and(|w| w.tripped());
+    Ok(JobExecution {
+        outcome,
+        tripped,
+        panicked,
+        recorder: sinks.recorder,
     })
 }
 

@@ -40,6 +40,8 @@
 #![warn(missing_docs)]
 
 mod agg;
+mod dedupe;
+pub mod hash;
 mod job;
 pub mod parse;
 mod pool;
@@ -47,7 +49,8 @@ pub mod report;
 mod spec;
 
 pub use agg::{Stat, SweepAggregate};
-pub use job::{run_job, JobResult};
+pub use dedupe::{run_sweep_deduped, DedupePlan};
+pub use job::{run_job, run_job_full, JobExecution, JobResult};
 pub use parse::{build_delay, build_rates, parse_topology, SweepDelay, ALGOS};
 pub use pool::{run_pool, run_pool_timed, JobOutcome, PoolProgress, PoolStats};
 pub use spec::{JobSpec, SweepSpec};

@@ -255,7 +255,7 @@ where
     (outcomes, stats)
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("panicked: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {

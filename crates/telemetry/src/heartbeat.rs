@@ -142,6 +142,10 @@ pub struct SweepBeat {
     pub wall_ms: f64,
     /// Identifier of the last completed job.
     pub job: String,
+    /// Owning session, for daemon-hosted sweeps (`gcs serve` stamps the
+    /// submitting session so multiplexed heartbeat streams stay
+    /// attributable). Absent for plain `gcs sweep` runs.
+    pub session: Option<String>,
 }
 
 /// Streams `gcs-heartbeat/v1` records to a writer, pacing run beats by
@@ -170,6 +174,18 @@ fn push_opt(out: &mut String, v: Option<f64>) {
     match v {
         Some(v) => push_f64(out, v),
         None => out.push_str("null"),
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
 }
 
@@ -223,6 +239,20 @@ impl<W: Write> HeartbeatEmitter<W> {
         events: u64,
         job: &str,
     ) -> io::Result<()> {
+        self.sweep_beat_session(jobs_done, jobs_total, events, job, None)
+    }
+
+    /// Like [`HeartbeatEmitter::sweep_beat`], additionally stamping the
+    /// owning session — the daemon-side variant, where one process emits
+    /// beats on behalf of many clients.
+    pub fn sweep_beat_session(
+        &mut self,
+        jobs_done: u64,
+        jobs_total: u64,
+        events: u64,
+        job: &str,
+        session: Option<&str>,
+    ) -> io::Result<()> {
         let wall_ms = if self.deterministic {
             0.0
         } else {
@@ -235,16 +265,14 @@ impl<W: Write> HeartbeatEmitter<W> {
         );
         push_f64(&mut line, wall_ms);
         line.push_str(",\"job\":\"");
-        for c in job.chars() {
-            match c {
-                '"' => line.push_str("\\\""),
-                '\\' => line.push_str("\\\\"),
-                '\n' => line.push_str("\\n"),
-                c if (c as u32) < 0x20 => line.push_str(&format!("\\u{:04x}", c as u32)),
-                c => line.push(c),
-            }
+        push_escaped(&mut line, job);
+        line.push('"');
+        if let Some(session) = session {
+            line.push_str(",\"session\":\"");
+            push_escaped(&mut line, session);
+            line.push('"');
         }
-        line.push_str("\"}\n");
+        line.push_str("}\n");
         self.seq += 1;
         self.out.write_all(line.as_bytes())?;
         self.out.flush()

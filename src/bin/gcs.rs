@@ -29,7 +29,7 @@ use clock_sync::analysis::{
     diff_streams, encode_event, ClockTrace, ComplexityReport, InvariantWatchdog, JsonlWriter,
     MetricsSink, SkewObserver, Table, WatchdogTrip,
 };
-use clock_sync::bench::{diff as bench_diff, parse_artifact};
+use clock_sync::bench::{diff as bench_diff, parse_artifact, run_serve_bench, ServeBenchConfig};
 use clock_sync::chaos::{
     run_batch, run_scenario, shrink as shrink_scenario, BatchConfig, ChaosSpec, ScenarioOutcome,
 };
@@ -41,12 +41,13 @@ use clock_sync::forensics::{
     TraceSummary,
 };
 use clock_sync::graph::Graph;
+use clock_sync::serve::{ServeConfig, ServerHandle};
 use clock_sync::sim::{
     DelayModel, DropCause, Engine, EngineEvent, EngineProfile, EventSink, MessageStats, Protocol,
     RecorderSink,
 };
 use clock_sync::sweep::{
-    build_delay, build_rates, parse_topology, report, run_sweep_timed, PoolProgress, SweepSpec,
+    build_delay, build_rates, parse_topology, report, run_sweep_deduped, PoolProgress, SweepSpec,
 };
 use clock_sync::telemetry::{
     BeatInput, HeartbeatEmitter, ParStats, SkewFieldWriter, WatchdogStatus,
@@ -64,6 +65,8 @@ COMMANDS:
     run           simulate one algorithm on one topology and report skews
     sweep         run a parameter grid on a parallel worker pool
     chaos         seeded fault-injection scenarios (run|batch|shrink|replay)
+    serve         admission-controlled simulation daemon with result caching
+    serve-bench   hot/cold load generator against a `gcs serve` daemon
     trace         forensics over a recorded event stream (summary|blame|export)
     top           render a `--heartbeat` stream as a status report
     bench         compare `gcs-bench-result/v1` artifacts (bench diff OLD NEW)
@@ -255,6 +258,75 @@ EXAMPLES:
     gcs sweep --topologies er:24:0.2 --seeds 0..32 --dry-run
 ";
 
+const SERVE_USAGE: &str = "\
+gcs serve — admission-controlled simulation daemon
+
+One warm process multiplexing run, sweep, and chaos-batch jobs over a
+hand-rolled HTTP/1.1 + JSONL wire (no dependencies). Submissions are
+canonically hashed; completed jobs freeze into immutable artifacts in a
+byte-budgeted LRU cache, so resubmitting a spec replays the frozen bytes
+without touching the engine. Past the live-job watermark the daemon sheds
+load with `429` + `Retry-After`; a per-session round-robin keeps one
+client's 10k-job sweep from starving interactive runs. Responses for the
+same spec are byte-identical (de-chunked) across cache hit vs miss,
+--jobs counts, and concurrent subscribers. See docs/SERVE.md for the
+wire format.
+
+USAGE:
+    gcs serve [--addr HOST:PORT] [--jobs K] [--cache-mb M]
+              [--max-live N] [--dump-dir DIR] [--wall-heartbeats]
+
+OPTIONS:
+    --addr HOST:PORT   listen address            (default 127.0.0.1:7431;
+                       port 0 picks a free port and prints it)
+    --jobs K           worker threads            (default: all cores)
+    --cache-mb M       result-cache budget, MiB  (default 64)
+    --max-live N       admission watermark: live jobs beyond which new
+                       submissions get 429       (default 64)
+    --dump-dir DIR     flight-recorder dumps from tripped/panicked jobs,
+                       one subdirectory per job  (default dumps)
+    --wall-heartbeats  real wall-clock fields in heartbeat streams
+                       (default: zeroed, so responses are reproducible)
+
+ENDPOINTS (see docs/SERVE.md):
+    POST /v1/jobs?kind=run|sweep|chaos-batch[&wait=1]   submit a spec
+    GET  /v1/jobs/ID[/results|/heartbeats|/blame]       poll / stream
+    GET  /stats        scheduler + cache counters
+    GET  /v1/heartbeats[?once=1]                        server event stream
+    POST /v1/shutdown  graceful shutdown
+
+EXIT STATUS:
+    0  clean shutdown        1  bind or runtime error
+";
+
+const SERVE_BENCH_USAGE: &str = "\
+gcs serve-bench — hot/cold load generator for the daemon
+
+Submits a working set of distinct sweep specs from concurrent clients
+(cold phase: every spec executes), then replays the set (hot phase: every
+response must come from the result cache, byte-identical to the cold
+body). Writes BENCH_serve.json (`gcs-bench-result/v1`) with throughput,
+latency percentiles, cache hit ratio, and the cold-vs-hot speedup.
+
+USAGE:
+    gcs serve-bench [--addr HOST:PORT] [--clients C] [--specs S]
+                    [--repeat R] [--jobs K] [--quick] [--no-artifact]
+
+OPTIONS:
+    --addr HOST:PORT   target an already-running daemon (default: spawn an
+                       embedded one for the run)
+    --clients C        concurrent client connections (default 8; 4 quick)
+    --specs S          distinct specs in the set     (default 24; 8 quick)
+    --repeat R         hot replays per spec          (default 4;  2 quick)
+    --jobs K           embedded daemon workers       (default: all cores)
+    --quick            small grids and working set (CI smoke)
+    --no-artifact      print the table only; skip BENCH_serve.json
+
+EXIT STATUS:
+    0  ran (and wrote the artifact)   1  request failures or identity
+                                         violations
+";
+
 const TRACE_USAGE: &str = "\
 gcs trace — forensics over a recorded event stream
 
@@ -439,6 +511,8 @@ const COMMANDS: &[(&str, &str)] = &[
     ("run", RUN_USAGE),
     ("sweep", SWEEP_USAGE),
     ("chaos", CHAOS_USAGE),
+    ("serve", SERVE_USAGE),
+    ("serve-bench", SERVE_BENCH_USAGE),
     ("trace", TRACE_USAGE),
     ("top", TOP_USAGE),
     ("bench", BENCH_USAGE),
@@ -524,6 +598,8 @@ fn main() -> ExitCode {
             "bounds" => cmd_bounds(&opts),
             "run" => cmd_run(&opts),
             "sweep" => cmd_sweep(&opts),
+            "serve" => cmd_serve(&opts),
+            "serve-bench" => cmd_serve_bench(&opts),
             "lb-global" => cmd_lb_global(&opts),
             "lb-local" => cmd_lb_local(&opts),
             _ => unreachable!("command membership checked above"),
@@ -555,6 +631,9 @@ impl Options {
         "allow-sequential-fallback",
         "no-shrink",
         "deterministic-heartbeat",
+        "quick",
+        "wall-heartbeats",
+        "no-artifact",
     ];
 
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -1434,7 +1513,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     let jobs_total = jobs.len() as u64;
     let mut hb_done: u64 = 0;
     let mut hb_events: u64 = 0;
-    let (_, aggregate, pool_stats) = run_sweep_timed(
+    let (_, aggregate, pool_stats, deduped) = run_sweep_deduped(
         &jobs,
         workers,
         |job, outcome| {
@@ -1489,6 +1568,11 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         return Err(e);
     }
 
+    // Identical grid points (e.g. repeated axis values) execute once and
+    // replay to every duplicate; output is byte-identical either way.
+    if deduped > 0 {
+        println!("deduped = {deduped} (identical grid points executed once)");
+    }
     println!(
         "completed {} / failed {} / watchdog trips {} in {:.2?}\n",
         aggregate.completed, aggregate.failed, aggregate.watchdog_trips, elapsed
@@ -1518,6 +1602,73 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
             jobs.len()
         ));
     }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let addr = opts.str_or("addr", "127.0.0.1:7431");
+    let cache_mb = opts.usize_or("cache-mb", 64)?.max(1);
+    let cfg = ServeConfig {
+        addr: addr.to_string(),
+        workers: opts.usize_or("jobs", 0)?,
+        cache_bytes: cache_mb << 20,
+        max_live: opts.usize_or("max-live", 64)?.max(1),
+        dump_dir: std::path::PathBuf::from(opts.str_or("dump-dir", "dumps")),
+        deterministic: !opts.flag("wall-heartbeats"),
+    };
+    let workers = cfg.effective_workers();
+    let max_live = cfg.max_live;
+    let mut server =
+        ServerHandle::spawn(cfg).map_err(|e| format!("cannot start daemon on {addr}: {e}"))?;
+    println!(
+        "gcs serve: listening on {} ({workers} worker{}, {cache_mb} MiB cache, \
+         watermark {max_live} live jobs)",
+        server.addr(),
+        if workers == 1 { "" } else { "s" },
+    );
+    println!("POST /v1/jobs?kind=run|sweep|chaos-batch to submit; POST /v1/shutdown to stop");
+    server.join();
+    println!("gcs serve: shut down");
+    Ok(())
+}
+
+fn cmd_serve_bench(opts: &Options) -> Result<(), String> {
+    let quick = opts.flag("quick");
+    let cfg = ServeBenchConfig {
+        addr: opts.values.get("addr").cloned(),
+        clients: opts.usize_or("clients", if quick { 4 } else { 8 })?.max(1),
+        specs: opts.usize_or("specs", if quick { 8 } else { 24 })?.max(1),
+        repeat: opts.usize_or("repeat", if quick { 2 } else { 4 })?.max(1),
+        workers: opts.usize_or("jobs", 0)?,
+        quick,
+    };
+    let outcome = run_serve_bench(&cfg)?;
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec![
+        "cold jobs/sec".into(),
+        format!("{:.1}", outcome.cold_jobs_per_sec),
+    ]);
+    table.row(vec![
+        "hot jobs/sec".into(),
+        format!("{:.1}", outcome.hot_jobs_per_sec),
+    ]);
+    table.row(vec![
+        "cache hit ratio".into(),
+        format!("{:.3}", outcome.hit_ratio),
+    ]);
+    table.row(vec![
+        "hot-vs-cold speedup".into(),
+        format!("{:.1}×", outcome.speedup),
+    ]);
+    println!("{table}");
+    if opts.flag("no-artifact") {
+        return Ok(());
+    }
+    let path = outcome
+        .report
+        .write()
+        .map_err(|e| format!("cannot write BENCH_serve.json: {e}"))?;
+    println!("bench artifact written to {path}");
     Ok(())
 }
 
